@@ -1,0 +1,452 @@
+//! The autodiff tape: node arena, op enum, forward construction and the
+//! reverse sweep.
+
+use crate::Var;
+use kvec_tensor::{Axis, Tensor};
+use std::cell::RefCell;
+
+/// Identifier of a node inside a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// The differentiable operations the tape understands.
+///
+/// Each variant stores the arena indices of its parents plus whatever
+/// constant data the backward rule needs. Constants (masks, dropout
+/// patterns, gather indices) are *not* differentiated through.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Input or parameter; gradient accumulates here and the sweep stops.
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Hadamard(usize, usize),
+    Neg(usize),
+    Scale(usize, f32),
+    AddScalarC(usize),
+    MatMul(usize, usize),
+    Transpose(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Relu(usize),
+    /// `ln(1 + e^x)`, used for numerically stable `log sigmoid` terms in the
+    /// halting-policy losses.
+    Softplus(usize),
+    Ln(usize),
+    Square(usize),
+    /// Row-wise softmax (the additive mask, if any, was applied during
+    /// forward construction and is constant).
+    SoftmaxRows(usize),
+    LogSoftmaxRows(usize),
+    /// Gather rows of the parent by constant indices (embedding lookup).
+    GatherRows(usize, Vec<usize>),
+    ConcatCols(usize, usize),
+    ConcatRows(usize, usize),
+    SliceRows(usize, usize, usize),
+    SliceCols(usize, usize, usize),
+    /// Matrix plus a broadcast `1 x n` bias row.
+    AddRowBroadcast(usize, usize),
+    /// Matrix times a broadcast `1 x n` scale row (layer-norm gain).
+    MulRowBroadcast(usize, usize),
+    /// Row-wise standardization `(x - mean) / sqrt(var + eps)`.
+    LayerNormRows(usize, f32),
+    SumAll(usize),
+    MeanAll(usize),
+    /// Elementwise product with a constant tensor (dropout masks and
+    /// stop-gradient style reweighting).
+    MulConst(usize, Tensor),
+    /// Extract a single element as a `1 x 1` tensor.
+    Pick(usize, usize, usize),
+}
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub grad: Option<Tensor>,
+    pub op: Op,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// Interior mutability lets [`Var`] handles (which are `Copy` and borrow the
+/// graph immutably) build the tape with ordinary method-call syntax.
+pub struct Graph {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self {
+            nodes: RefCell::new(Vec::with_capacity(256)),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&self, value: Tensor, op: Op) -> VarId {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        VarId(nodes.len() - 1)
+    }
+
+    /// Records a leaf (input or parameter) and returns its handle.
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        let id = self.push(value, Op::Leaf);
+        Var { graph: self, id }
+    }
+
+    /// Returns the handle for an existing node id.
+    pub fn var(&self, id: VarId) -> Var<'_> {
+        assert!(id.0 < self.len(), "VarId {} out of range", id.0);
+        Var { graph: self, id }
+    }
+
+    /// Clones the value of a node.
+    pub fn value(&self, v: Var<'_>) -> Tensor {
+        self.nodes.borrow()[v.id.0].value.clone()
+    }
+
+    /// Applies `f` to the value of a node without cloning.
+    pub fn with_value<R>(&self, v: Var<'_>, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.nodes.borrow()[v.id.0].value)
+    }
+
+    /// Clones the accumulated gradient of a node, if the reverse sweep
+    /// reached it.
+    pub fn grad(&self, v: Var<'_>) -> Option<Tensor> {
+        self.nodes.borrow()[v.id.0].grad.clone()
+    }
+
+    /// Runs the reverse sweep from a scalar (`1 x 1`) output, seeding its
+    /// gradient with 1.
+    ///
+    /// Run the sweep at most once per tape: a second sweep would re-propagate
+    /// the interior gradients left by the first and double-count them. Build
+    /// a combined loss node instead when several objectives share the tape.
+    pub fn backward(&self, output: Var<'_>) {
+        let shape = self.with_value(output, Tensor::shape);
+        assert_eq!(
+            shape,
+            (1, 1),
+            "backward() requires a scalar output, got {shape:?}"
+        );
+        self.backward_with(output, Tensor::scalar(1.0));
+    }
+
+    /// Runs the reverse sweep seeding the output gradient with `seed`.
+    pub fn backward_with(&self, output: Var<'_>, seed: Tensor) {
+        let mut nodes = self.nodes.borrow_mut();
+        {
+            let out = &mut nodes[output.id.0];
+            assert_eq!(
+                out.value.shape(),
+                seed.shape(),
+                "backward seed shape mismatch"
+            );
+            match &mut out.grad {
+                Some(g) => g.add_assign(&seed),
+                slot => *slot = Some(seed),
+            }
+        }
+        for i in (0..=output.id.0).rev() {
+            let Some(grad) = nodes[i].grad.clone() else {
+                continue;
+            };
+            let op = nodes[i].op.clone();
+            let value = nodes[i].value.clone();
+            Self::propagate(&mut nodes, &op, &value, &grad);
+        }
+    }
+
+    fn accum(nodes: &mut [Node], parent: usize, contrib: Tensor) {
+        match &mut nodes[parent].grad {
+            Some(g) => g.add_assign(&contrib),
+            slot => *slot = Some(contrib),
+        }
+    }
+
+    /// Applies one node's backward rule, accumulating into its parents.
+    fn propagate(nodes: &mut [Node], op: &Op, value: &Tensor, grad: &Tensor) {
+        match op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                Self::accum(nodes, *a, grad.clone());
+                Self::accum(nodes, *b, grad.clone());
+            }
+            Op::Sub(a, b) => {
+                Self::accum(nodes, *a, grad.clone());
+                Self::accum(nodes, *b, grad.scale(-1.0));
+            }
+            Op::Hadamard(a, b) => {
+                let ga = grad.hadamard(&nodes[*b].value);
+                let gb = grad.hadamard(&nodes[*a].value);
+                Self::accum(nodes, *a, ga);
+                Self::accum(nodes, *b, gb);
+            }
+            Op::Neg(a) => Self::accum(nodes, *a, grad.scale(-1.0)),
+            Op::Scale(a, c) => Self::accum(nodes, *a, grad.scale(*c)),
+            Op::AddScalarC(a) => Self::accum(nodes, *a, grad.clone()),
+            Op::MatMul(a, b) => {
+                // y = A B  =>  dA = g B^T, dB = A^T g
+                let ga = grad.matmul_nt(&nodes[*b].value).expect("matmul bwd a");
+                let gb = nodes[*a].value.matmul_tn(grad).expect("matmul bwd b");
+                Self::accum(nodes, *a, ga);
+                Self::accum(nodes, *b, gb);
+            }
+            Op::Transpose(a) => Self::accum(nodes, *a, grad.transpose()),
+            Op::Sigmoid(a) => {
+                // y' = y (1 - y)
+                let g = grad.zip_map(value, |g, y| g * y * (1.0 - y));
+                Self::accum(nodes, *a, g);
+            }
+            Op::Tanh(a) => {
+                let g = grad.zip_map(value, |g, y| g * (1.0 - y * y));
+                Self::accum(nodes, *a, g);
+            }
+            Op::Relu(a) => {
+                let g = grad.zip_map(value, |g, y| if y > 0.0 { g } else { 0.0 });
+                Self::accum(nodes, *a, g);
+            }
+            Op::Softplus(a) => {
+                // d/dx ln(1+e^x) = sigmoid(x); recover sigmoid from the
+                // output: sigma = 1 - e^{-y}.
+                let g = grad.zip_map(value, |g, y| g * (1.0 - (-y).exp()));
+                Self::accum(nodes, *a, g);
+            }
+            Op::Ln(a) => {
+                let g = grad.zip_map(&nodes[*a].value, |g, x| g / x);
+                Self::accum(nodes, *a, g);
+            }
+            Op::Square(a) => {
+                let g = grad.zip_map(&nodes[*a].value, |g, x| 2.0 * g * x);
+                Self::accum(nodes, *a, g);
+            }
+            Op::SoftmaxRows(a) => {
+                // dx_i = y_i * (g_i - sum_j g_j y_j), row-wise.
+                let mut out = grad.hadamard(value);
+                let row_dot = out.sum_axis(Axis::Cols); // rows x 1
+                for r in 0..out.rows() {
+                    let d = row_dot.data()[r];
+                    let y_row = value.row(r).to_vec();
+                    for (o, y) in out.row_mut(r).iter_mut().zip(y_row) {
+                        // o currently holds g*y; subtract y*d.
+                        *o -= y * d;
+                    }
+                }
+                Self::accum(nodes, *a, out);
+            }
+            Op::LogSoftmaxRows(a) => {
+                // dx = g - softmax(x) * rowsum(g); softmax = exp(output).
+                let softmax = value.map(f32::exp);
+                let row_sum = grad.sum_axis(Axis::Cols);
+                let mut out = grad.clone();
+                for r in 0..out.rows() {
+                    let s = row_sum.data()[r];
+                    let p_row = softmax.row(r).to_vec();
+                    for (o, p) in out.row_mut(r).iter_mut().zip(p_row) {
+                        *o -= p * s;
+                    }
+                }
+                Self::accum(nodes, *a, out);
+            }
+            Op::GatherRows(a, indices) => {
+                let mut g = Tensor::zeros(nodes[*a].value.rows(), nodes[*a].value.cols());
+                for (out_row, &src_row) in indices.iter().enumerate() {
+                    let src = grad.row(out_row).to_vec();
+                    for (dst, v) in g.row_mut(src_row).iter_mut().zip(src) {
+                        *dst += v;
+                    }
+                }
+                Self::accum(nodes, *a, g);
+            }
+            Op::ConcatCols(a, b) => {
+                let ca = nodes[*a].value.cols();
+                let ga = grad.slice_cols(0, ca).expect("concat_cols bwd a");
+                let gb = grad.slice_cols(ca, grad.cols()).expect("concat_cols bwd b");
+                Self::accum(nodes, *a, ga);
+                Self::accum(nodes, *b, gb);
+            }
+            Op::ConcatRows(a, b) => {
+                let ra = nodes[*a].value.rows();
+                let ga = grad.slice_rows(0, ra).expect("concat_rows bwd a");
+                let gb = grad.slice_rows(ra, grad.rows()).expect("concat_rows bwd b");
+                Self::accum(nodes, *a, ga);
+                Self::accum(nodes, *b, gb);
+            }
+            Op::SliceRows(a, start, _end) => {
+                let mut g = Tensor::zeros(nodes[*a].value.rows(), nodes[*a].value.cols());
+                for r in 0..grad.rows() {
+                    let src = grad.row(r).to_vec();
+                    for (dst, v) in g.row_mut(start + r).iter_mut().zip(src) {
+                        *dst += v;
+                    }
+                }
+                Self::accum(nodes, *a, g);
+            }
+            Op::SliceCols(a, start, _end) => {
+                let mut g = Tensor::zeros(nodes[*a].value.rows(), nodes[*a].value.cols());
+                for r in 0..grad.rows() {
+                    let src = grad.row(r).to_vec();
+                    for (c, v) in src.into_iter().enumerate() {
+                        g[(r, start + c)] += v;
+                    }
+                }
+                Self::accum(nodes, *a, g);
+            }
+            Op::AddRowBroadcast(a, bias) => {
+                Self::accum(nodes, *a, grad.clone());
+                Self::accum(nodes, *bias, grad.sum_axis(Axis::Rows));
+            }
+            Op::MulRowBroadcast(a, scale) => {
+                // y = a (.) tile(s): da = g (.) tile(s), ds = sum_rows(g (.) a)
+                let s_row = nodes[*scale].value.clone();
+                let a_val = nodes[*a].value.clone();
+                let mut ga = grad.clone();
+                for r in 0..ga.rows() {
+                    for (v, s) in ga.row_mut(r).iter_mut().zip(s_row.data()) {
+                        *v *= s;
+                    }
+                }
+                let gs = grad.hadamard(&a_val).sum_axis(Axis::Rows);
+                Self::accum(nodes, *a, ga);
+                Self::accum(nodes, *scale, gs);
+            }
+            Op::LayerNormRows(a, eps) => {
+                // Per row: xhat = (x - mu) / sigma, y == xhat (stored).
+                // dx = (g - mean(g) - xhat * mean(g (.) xhat)) / sigma
+                let x = nodes[*a].value.clone();
+                let n = x.cols() as f32;
+                let mut gx = Tensor::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    let row = x.row(r);
+                    let mu = row.iter().sum::<f32>() / n;
+                    let var = row.iter().map(|v| (v - mu).powi(2)).sum::<f32>() / n;
+                    let sigma = (var + eps).sqrt();
+                    let g_row = grad.row(r);
+                    let y_row = value.row(r);
+                    let g_mean = g_row.iter().sum::<f32>() / n;
+                    let gy_mean = g_row
+                        .iter()
+                        .zip(y_row)
+                        .map(|(g, y)| g * y)
+                        .sum::<f32>()
+                        / n;
+                    for (c, out) in gx.row_mut(r).iter_mut().enumerate() {
+                        *out = (g_row[c] - g_mean - y_row[c] * gy_mean) / sigma;
+                    }
+                }
+                Self::accum(nodes, *a, gx);
+            }
+            Op::SumAll(a) => {
+                let (r, c) = nodes[*a].value.shape();
+                Self::accum(nodes, *a, Tensor::full(r, c, grad.item()));
+            }
+            Op::MeanAll(a) => {
+                let (r, c) = nodes[*a].value.shape();
+                let n = (r * c) as f32;
+                Self::accum(nodes, *a, Tensor::full(r, c, grad.item() / n));
+            }
+            Op::MulConst(a, k) => Self::accum(nodes, *a, grad.hadamard(k)),
+            Op::Pick(a, r, c) => {
+                let mut g = Tensor::zeros(nodes[*a].value.rows(), nodes[*a].value.cols());
+                g[(*r, *c)] = grad.item();
+                Self::accum(nodes, *a, g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trip() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::row_vector(&[1.0, 2.0]));
+        assert_eq!(g.value(x).data(), &[1.0, 2.0]);
+        assert!(g.grad(x).is_none());
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::zeros(2, 2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.backward(x)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn add_backward_accumulates_to_both_parents() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::row_vector(&[1.0, 2.0]));
+        let b = g.leaf(Tensor::row_vector(&[3.0, 4.0]));
+        let y = a.add(b).sum_all();
+        g.backward(y);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates() {
+        // y = sum(x + x) => dy/dx = 2 everywhere.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::row_vector(&[1.0, -1.0]));
+        let y = x.add(x).sum_all();
+        g.backward(y);
+        assert_eq!(g.grad(x).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_backward_shapes() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::ones(2, 3));
+        let b = g.leaf(Tensor::ones(3, 4));
+        let y = a.matmul(b).sum_all();
+        g.backward(y);
+        assert_eq!(g.grad(a).unwrap().shape(), (2, 3));
+        assert_eq!(g.grad(b).unwrap().shape(), (3, 4));
+        // d/dA sum(AB) = row sums of B^T = 4 everywhere (B is ones 3x4).
+        assert!(g.grad(a).unwrap().allclose(&Tensor::full(2, 3, 4.0), 1e-6));
+        assert!(g.grad(b).unwrap().allclose(&Tensor::full(3, 4, 2.0), 1e-6));
+    }
+
+    #[test]
+    fn gather_rows_scatters_gradient() {
+        let g = Graph::new();
+        let table = g.leaf(Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap());
+        let picked = table.gather_rows(&[0, 0, 1]);
+        let y = picked.sum_all();
+        g.backward(y);
+        // Row 0 was gathered twice.
+        assert_eq!(g.grad(table).unwrap().data(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn custom_seed_scales_gradient() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(3.0));
+        let y = x.scale(2.0);
+        g.backward_with(y, Tensor::scalar(5.0));
+        assert_eq!(g.grad(x).unwrap().item(), 10.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based gradient checks: every differentiable op, on random
+//! inputs, must match central finite differences.
+
+use kvec_autograd::gradcheck::check_scalar_fn;
+use kvec_tensor::Tensor;
+use proptest::prelude::*;
+
+fn input(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |d| Tensor::from_vec(rows, cols, d).unwrap())
+}
+
+const TOL: f32 = 2e-2;
+const EPS: f32 = 1e-3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grad_elementwise_chain(x in input(3, 3)) {
+        let r = check_scalar_fn(&x, EPS, |_g, v| {
+            v.sigmoid().hadamard(v.tanh()).square().sum_all().value().item()
+        });
+        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn grad_softmax_composition(x in input(3, 4)) {
+        let r = check_scalar_fn(&x, EPS, |_g, v| {
+            v.softmax_rows().square().sum_all().value().item()
+        });
+        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn grad_matmul_quadratic_form(x in input(3, 3)) {
+        let r = check_scalar_fn(&x, EPS, |_g, v| {
+            v.matmul(v.t()).sum_all().value().item()
+        });
+        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn grad_gather_and_concat(x in input(4, 2)) {
+        let r = check_scalar_fn(&x, EPS, |_g, v| {
+            v.gather_rows(&[0, 0, 3])
+                .concat_cols(v.gather_rows(&[1, 2, 3]))
+                .square()
+                .sum_all()
+                .value()
+                .item()
+        });
+        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn grad_softplus_policy_terms(x in input(1, 4)) {
+        // The exact expression shape of the halting losses.
+        let r = check_scalar_fn(&x, EPS, |g, v| {
+            let w = g.leaf(Tensor::from_vec(4, 1, vec![0.3, -0.2, 0.5, 0.1]).unwrap());
+            let z = v.matmul(w);
+            let log_halt = z.neg().softplus().neg();
+            let log_wait = z.softplus().neg();
+            log_halt.scale(-1.7).add(log_wait.scale(0.4)).value().item()
+        });
+        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    }
+
+    #[test]
+    fn grad_scale_linearity(x in input(2, 3), s in -3.0f32..3.0) {
+        let r = check_scalar_fn(&x, EPS, move |_g, v| {
+            v.scale(s).sum_all().value().item()
+        });
+        // d/dx sum(s*x) = s exactly.
+        prop_assert!(r.max_abs_err < 1e-2, "abs err {}", r.max_abs_err);
+    }
+
+    #[test]
+    fn grad_mean_is_uniform(x in input(3, 3)) {
+        use kvec_autograd::Graph;
+        let g = Graph::new();
+        let v = g.leaf(x.clone());
+        let y = v.mean_all();
+        g.backward(y);
+        let grad = g.grad(v).unwrap();
+        let expected = Tensor::full(3, 3, 1.0 / 9.0);
+        prop_assert!(grad.allclose(&expected, 1e-6));
+    }
+
+    #[test]
+    fn detach_never_leaks_gradient(x in input(2, 2)) {
+        use kvec_autograd::Graph;
+        let g = Graph::new();
+        let v = g.leaf(x);
+        let y = v.detach().square().sum_all();
+        g.backward(y);
+        prop_assert!(g.grad(v).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared baseline configuration.
+
+use kvec_data::ValueSchema;
+
+/// Configuration shared by every baseline (architecture + training), plus
+/// each method's earliness knob (Table II of the paper): `lambda` for the
+/// RL methods, `tau` for SRN-Fixed, `mu` for SRN-Confidence.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Cardinality of each value field.
+    pub field_cardinalities: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Transformer blocks (SRN variants).
+    pub n_blocks: usize,
+    /// FFN width inside attention blocks.
+    pub d_ff: usize,
+    /// Maximum relative position embedding (SRN variants).
+    pub max_rel_pos: usize,
+    /// Dropout inside attention blocks.
+    pub dropout: f32,
+    /// Hidden width of the value-baseline network (RL variants).
+    pub baseline_hidden: usize,
+    /// Weight of the REINFORCE surrogate (fixed, like KVEC's alpha).
+    pub alpha: f32,
+    /// Earliness-accuracy trade-off of the RL halting methods.
+    pub lambda: f32,
+    /// Halting step of SRN-Fixed.
+    pub tau: usize,
+    /// Confidence threshold of SRN-Confidence.
+    pub mu: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Baseline-network learning rate.
+    pub lr_baseline: f32,
+    /// Global gradient clip.
+    pub grad_clip: f32,
+    /// Evaluation halting threshold of the RL methods.
+    pub halt_threshold: f32,
+    /// Representation warmup epochs before the halting policy trains
+    /// (same rationale as `kvec::KvecConfig::policy_warmup_epochs`).
+    pub warmup_epochs: usize,
+}
+
+impl BaselineConfig {
+    /// Paper-shaped defaults for a schema.
+    pub fn for_schema(schema: &ValueSchema, num_classes: usize) -> Self {
+        Self {
+            field_cardinalities: schema.cardinalities.clone(),
+            num_classes,
+            d_model: 64,
+            n_blocks: 2,
+            d_ff: 128,
+            max_rel_pos: 64,
+            dropout: 0.1,
+            baseline_hidden: 32,
+            alpha: 0.1,
+            lambda: 0.01,
+            tau: 5,
+            mu: 0.9,
+            lr: 1e-3,
+            lr_baseline: 1e-3,
+            grad_clip: 5.0,
+            halt_threshold: 0.5,
+            warmup_epochs: 5,
+        }
+    }
+
+    /// Small configuration for tests.
+    pub fn tiny(schema: &ValueSchema, num_classes: usize) -> Self {
+        Self {
+            d_model: 16,
+            n_blocks: 1,
+            d_ff: 32,
+            max_rel_pos: 32,
+            baseline_hidden: 8,
+            warmup_epochs: 1,
+            ..Self::for_schema(schema, num_classes)
+        }
+    }
+
+    /// Sets the RL earliness knob (builder style).
+    pub fn with_lambda(mut self, lambda: f32) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets SRN-Fixed's halting step (builder style).
+    pub fn with_tau(mut self, tau: usize) -> Self {
+        assert!(tau >= 1, "tau must be at least 1");
+        self.tau = tau;
+        self
+    }
+
+    /// Sets SRN-Confidence's threshold (builder style).
+    pub fn with_mu(mut self, mu: f32) -> Self {
+        assert!((0.0..=1.0).contains(&mu), "mu must be in [0,1]");
+        self.mu = mu;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> ValueSchema {
+        ValueSchema::new(vec!["a".into()], vec![4], 0)
+    }
+
+    #[test]
+    fn builders() {
+        let c = BaselineConfig::tiny(&schema(), 2)
+            .with_lambda(0.5)
+            .with_tau(7)
+            .with_mu(0.8);
+        assert_eq!(c.lambda, 0.5);
+        assert_eq!(c.tau, 7);
+        assert_eq!(c.mu, 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be")]
+    fn zero_tau_rejected() {
+        let _ = BaselineConfig::tiny(&schema(), 2).with_tau(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be")]
+    fn invalid_mu_rejected() {
+        let _ = BaselineConfig::tiny(&schema(), 2).with_mu(1.5);
+    }
+}

@@ -1,0 +1,248 @@
+//! EARLIEST (Hartvigsen et al., SIGKDD 2019): LSTM feature extraction plus
+//! a REINFORCE halting policy, applied to each key-value sequence
+//! independently. The paper's strongest *time-series* early-classification
+//! baseline — and, per its experiments, a poor fit for key-value data,
+//! which this reproduction's Figs. 3-6 harness confirms.
+
+use crate::policy::{sample_episode, threshold_halt, RlHeads};
+use crate::seq::{sequences_of, SeqSample};
+use crate::{BaselineConfig, EarlyClassifier};
+use kvec::eval::{report_from_outcomes, EvalReport, KeyOutcome};
+use kvec_autograd::Var;
+use kvec_data::TangledSequence;
+use kvec_nn::{clip_global_norm, Adam, Embedding, LstmCell, Optimizer, ParamId, ParamStore, Session};
+use kvec_tensor::{KvecRng, Tensor};
+
+/// The EARLIEST baseline.
+pub struct Earliest {
+    cfg: BaselineConfig,
+    store: ParamStore,
+    field_tables: Vec<Embedding>,
+    lstm: LstmCell,
+    heads: RlHeads,
+    opt_model: Adam,
+    opt_baseline: Adam,
+    model_ids: Vec<ParamId>,
+    baseline_ids: Vec<ParamId>,
+    epochs_done: usize,
+}
+
+impl Earliest {
+    /// Builds the model.
+    pub fn new(cfg: &BaselineConfig, rng: &mut KvecRng) -> Self {
+        let mut store = ParamStore::new();
+        let field_tables: Vec<Embedding> = cfg
+            .field_cardinalities
+            .iter()
+            .enumerate()
+            .map(|(f, &card)| {
+                Embedding::new(&mut store, &format!("earliest.field{f}"), card, cfg.d_model, rng)
+            })
+            .collect();
+        let lstm = LstmCell::new(&mut store, "earliest.lstm", cfg.d_model, cfg.d_model, rng);
+        let heads = RlHeads::new(&mut store, "earliest", cfg, rng);
+
+        let mut model_ids: Vec<ParamId> = field_tables
+            .iter()
+            .flat_map(Embedding::param_ids)
+            .collect();
+        model_ids.extend(lstm.param_ids());
+        model_ids.extend(heads.model_param_ids());
+        let baseline_ids = heads.baseline_param_ids();
+        let opt_model = Adam::new(&store, model_ids.clone(), cfg.lr);
+        let opt_baseline = Adam::new(&store, baseline_ids.clone(), cfg.lr_baseline);
+        Self {
+            cfg: cfg.clone(),
+            store,
+            field_tables,
+            lstm,
+            heads,
+            opt_model,
+            opt_baseline,
+            model_ids,
+            baseline_ids,
+            epochs_done: 0,
+        }
+    }
+
+    fn embed_item<'s>(&self, sess: &'s Session, value: &[u32]) -> Var<'s> {
+        let mut total: Option<Var<'s>> = None;
+        for (f, table) in self.field_tables.iter().enumerate() {
+            let e = table.forward(sess, &self.store, &[value[f] as usize]);
+            total = Some(match total {
+                Some(acc) => acc.add(e),
+                None => e,
+            });
+        }
+        total.expect("at least one field")
+    }
+
+    /// Per-step hidden states of one sequence (tape path).
+    fn states<'s>(&self, sess: &'s Session, seq: &SeqSample) -> Vec<Var<'s>> {
+        let mut state = self.lstm.zero_state(sess);
+        let mut states = Vec::with_capacity(seq.len());
+        for value in &seq.values {
+            let x = self.embed_item(sess, value);
+            state = self.lstm.step(sess, &self.store, x, state);
+            states.push(state.h);
+        }
+        states
+    }
+
+    /// Per-step hidden states (tape-free evaluation path).
+    fn states_tensor(&self, seq: &SeqSample) -> Vec<Tensor> {
+        let mut h = Tensor::zeros(1, self.cfg.d_model);
+        let mut c = Tensor::zeros(1, self.cfg.d_model);
+        let mut out = Vec::with_capacity(seq.len());
+        for value in &seq.values {
+            let mut x = self.field_tables[0].lookup(&self.store, &[value[0] as usize]);
+            for (f, table) in self.field_tables.iter().enumerate().skip(1) {
+                x.add_assign(&table.lookup(&self.store, &[value[f] as usize]));
+            }
+            let (h2, c2) = self.lstm.step_tensors(&self.store, &x, &h, &c);
+            h = h2;
+            c = c2;
+            out.push(h.clone());
+        }
+        out
+    }
+
+    fn train_sequence(&mut self, seq: &SeqSample, rng: &mut KvecRng) -> f32 {
+        let sess = Session::new();
+        let states = self.states(&sess, seq);
+        let forced_n = (self.epochs_done < self.cfg.warmup_epochs)
+            .then(|| rng.range(1, states.len() + 1));
+        let ep = sample_episode(
+            &sess,
+            &self.store,
+            &self.heads,
+            &states,
+            seq.label,
+            forced_n,
+            rng,
+        );
+        let total = ep
+            .l1
+            .add(ep.l2.scale(self.cfg.alpha))
+            .add(ep.l3.scale(self.cfg.lambda))
+            .add(ep.lb);
+        let loss = total.value().item();
+        sess.backward(total);
+        sess.accumulate_grads(&mut self.store);
+        clip_global_norm(&mut self.store, &self.model_ids, self.cfg.grad_clip);
+        clip_global_norm(&mut self.store, &self.baseline_ids, self.cfg.grad_clip);
+        self.opt_model.step(&mut self.store);
+        self.opt_baseline.step(&mut self.store);
+        self.store.zero_grads();
+        loss
+    }
+}
+
+impl EarlyClassifier for Earliest {
+    fn name(&self) -> &'static str {
+        "EARLIEST"
+    }
+
+    fn train_epoch(&mut self, scenarios: &[TangledSequence], rng: &mut KvecRng) -> f32 {
+        let seqs = sequences_of(scenarios);
+        let mut total = 0.0;
+        for seq in &seqs {
+            total += self.train_sequence(seq, rng);
+        }
+        self.epochs_done += 1;
+        total / seqs.len().max(1) as f32
+    }
+
+    fn evaluate(&self, scenarios: &[TangledSequence]) -> EvalReport {
+        let mut outcomes = Vec::new();
+        for seq in sequences_of(scenarios) {
+            let states = self.states_tensor(&seq);
+            let (n_k, pred) =
+                threshold_halt(&self.store, &self.heads, &states, self.cfg.halt_threshold);
+            outcomes.push(KeyOutcome {
+                key: seq.key,
+                label: seq.label,
+                pred,
+                n_k,
+                seq_len: seq.len(),
+                halt_global_pos: n_k - 1,
+                internal_attention: 1.0,
+                external_attention: 0.0,
+            });
+        }
+        report_from_outcomes(outcomes, self.cfg.num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvec_data::synth::{generate_traffic, TrafficConfig};
+    use kvec_data::Dataset;
+
+    fn dataset(seed: u64) -> Dataset {
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let dcfg = TrafficConfig {
+            num_flows: 20,
+            num_classes: 2,
+            mean_len: 12,
+            min_len: 10,
+            max_len: 16,
+            ..TrafficConfig::traffic_app(0)
+        };
+        let pool = generate_traffic(&dcfg, &mut rng);
+        Dataset::from_pool("t", dcfg.schema(), 2, pool, 4, &mut rng)
+    }
+
+    #[test]
+    fn trains_and_evaluates() {
+        let ds = dataset(1);
+        let cfg = BaselineConfig::tiny(&ds.schema, 2);
+        let mut rng = KvecRng::seed_from_u64(2);
+        let mut model = Earliest::new(&cfg, &mut rng);
+        let loss1 = model.train_epoch(&ds.train, &mut rng);
+        assert!(loss1.is_finite());
+        let report = model.evaluate(&ds.test);
+        let n_test: usize = ds.test.iter().map(TangledSequence::num_keys).sum();
+        assert_eq!(report.outcomes.len(), n_test);
+        assert!((0.0..=1.0).contains(&report.accuracy));
+        assert!(report.earliness > 0.0 && report.earliness <= 1.0);
+    }
+
+    #[test]
+    fn tape_free_states_match_tape_states() {
+        let ds = dataset(3);
+        let cfg = BaselineConfig::tiny(&ds.schema, 2);
+        let mut rng = KvecRng::seed_from_u64(4);
+        let model = Earliest::new(&cfg, &mut rng);
+        let seq = &sequences_of(&ds.test)[0];
+
+        let sess = Session::new();
+        let tape: Vec<Tensor> = model
+            .states(&sess, seq)
+            .into_iter()
+            .map(|v| v.value())
+            .collect();
+        let tensor = model.states_tensor(seq);
+        for (a, b) in tape.iter().zip(&tensor) {
+            assert!(a.allclose(b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn lambda_controls_earliness() {
+        let ds = dataset(5);
+        let run = |lambda: f32| {
+            let cfg = BaselineConfig::tiny(&ds.schema, 2).with_lambda(lambda);
+            let mut rng = KvecRng::seed_from_u64(6);
+            let mut model = Earliest::new(&cfg, &mut rng);
+            for _ in 0..4 {
+                model.train_epoch(&ds.train, &mut rng);
+            }
+            model.evaluate(&ds.test).earliness
+        };
+        let eager = run(2.0);
+        let lazy = run(-0.05);
+        assert!(eager <= lazy, "eager {eager} vs lazy {lazy}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Halting policy + value baseline + classifier heads shared by the RL
+//! baselines (EARLIEST and SRN-EARLIEST), mirroring KVEC's ECTL but scoped
+//! to a single independent sequence.
+
+use crate::BaselineConfig;
+use kvec_autograd::Var;
+use kvec_nn::{Linear, ParamId, ParamStore, Session};
+use kvec_tensor::{sigmoid_scalar, KvecRng, Tensor};
+
+/// Policy, baseline and classification heads over a `d_model`-wide state.
+pub struct RlHeads {
+    policy: Linear,
+    baseline_hidden: Linear,
+    baseline_out: Linear,
+    classifier: Linear,
+}
+
+impl RlHeads {
+    /// Creates the heads.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: &BaselineConfig, rng: &mut KvecRng) -> Self {
+        Self {
+            policy: Linear::new(store, &format!("{name}.policy"), cfg.d_model, 1, rng),
+            baseline_hidden: Linear::new(
+                store,
+                &format!("{name}.baseline.hidden"),
+                cfg.d_model,
+                cfg.baseline_hidden,
+                rng,
+            ),
+            baseline_out: Linear::new(
+                store,
+                &format!("{name}.baseline.out"),
+                cfg.baseline_hidden,
+                1,
+                rng,
+            ),
+            classifier: Linear::new(
+                store,
+                &format!("{name}.classifier"),
+                cfg.d_model,
+                cfg.num_classes,
+                rng,
+            ),
+        }
+    }
+
+    /// Bound of the halting logit (see `kvec::ectl::Ectl::LOGIT_BOUND` for
+    /// the rationale: it blocks the unbounded-drift failure mode of the
+    /// lateness loss under `lambda < 0`).
+    pub const LOGIT_BOUND: f32 = 8.0;
+
+    /// Pre-sigmoid halting logit `z = BOUND * tanh(w . s + b)`.
+    pub fn policy_logit<'s>(&self, sess: &'s Session, store: &ParamStore, s: Var<'s>) -> Var<'s> {
+        self.policy
+            .forward(sess, store, s)
+            .tanh()
+            .scale(Self::LOGIT_BOUND)
+    }
+
+    /// Tape-free halting probability.
+    pub fn halt_probability(&self, store: &ParamStore, s: &Tensor) -> f32 {
+        let raw = self.policy.apply(store, s).item();
+        sigmoid_scalar(Self::LOGIT_BOUND * raw.tanh())
+    }
+
+    /// Value baseline on a detached state.
+    pub fn baseline<'s>(&self, sess: &'s Session, store: &ParamStore, s: Var<'s>) -> Var<'s> {
+        let h = self.baseline_hidden.forward(sess, store, s).relu();
+        self.baseline_out.forward(sess, store, h)
+    }
+
+    /// Class logits.
+    pub fn class_logits<'s>(&self, sess: &'s Session, store: &ParamStore, s: Var<'s>) -> Var<'s> {
+        self.classifier.forward(sess, store, s)
+    }
+
+    /// Tape-free prediction with probabilities.
+    pub fn predict(&self, store: &ParamStore, s: &Tensor) -> (usize, Tensor) {
+        let probs = self.classifier.apply(store, s).softmax_rows();
+        (probs.argmax_row(0), probs)
+    }
+
+    /// Parameter ids excluding the baseline (updated at the model rate).
+    pub fn model_param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.policy.param_ids();
+        ids.extend(self.classifier.param_ids());
+        ids
+    }
+
+    /// Baseline parameter ids (own learning rate).
+    pub fn baseline_param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.baseline_hidden.param_ids();
+        ids.extend(self.baseline_out.param_ids());
+        ids
+    }
+}
+
+/// The per-sequence losses of one sampled RL episode.
+pub struct EpisodeLosses<'s> {
+    /// Cross-entropy at the halting position.
+    pub l1: Var<'s>,
+    /// REINFORCE-with-baseline surrogate.
+    pub l2: Var<'s>,
+    /// Lateness penalty `-sum_i log P(Halt | s_i)`.
+    pub l3: Var<'s>,
+    /// Baseline regression `sum_i (b_i - R_i)^2`.
+    pub lb: Var<'s>,
+    /// Predicted class at the halting position.
+    pub pred: usize,
+    /// Number of observed items.
+    pub n_k: usize,
+}
+
+/// Samples one halting episode over precomputed per-step states and builds
+/// the EARLIEST-style losses (identical in structure to KVEC's Algorithm 1,
+/// restricted to a single independent sequence).
+pub fn sample_episode<'s>(
+    sess: &'s Session,
+    store: &ParamStore,
+    heads: &RlHeads,
+    states: &[Var<'s>],
+    label: usize,
+    forced_n: Option<usize>,
+    rng: &mut KvecRng,
+) -> EpisodeLosses<'s> {
+    use kvec_nn::loss::{
+        cross_entropy_logits, log_one_minus_sigmoid, log_sigmoid, squared_error,
+    };
+    assert!(!states.is_empty(), "episode needs at least one state");
+    let warmup = forced_n.is_some();
+    let mut n_k = forced_n.map_or(states.len(), |n| n.clamp(1, states.len()));
+    let mut halted_by_policy = false;
+    let mut logits_z = Vec::with_capacity(states.len());
+    if !warmup {
+        for (i, &s) in states.iter().enumerate() {
+            let z = heads.policy_logit(sess, store, s);
+            logits_z.push(z);
+            let p = sigmoid_scalar(z.value().item());
+            if rng.bernoulli(p) {
+                n_k = i + 1;
+                halted_by_policy = true;
+                break;
+            }
+        }
+    }
+
+    let class_logits = heads.class_logits(sess, store, states[n_k - 1]);
+    let pred = class_logits.value().argmax_row(0);
+    let reward = if pred == label { 1.0f32 } else { -1.0 };
+    let l1 = cross_entropy_logits(class_logits, label);
+
+    let mut l2: Option<Var<'s>> = None;
+    let mut l3: Option<Var<'s>> = None;
+    let mut lb: Option<Var<'s>> = None;
+    for i in 1..=n_k {
+        let ret = (n_k - i) as f32 * reward;
+        let b_var = heads.baseline(sess, store, states[i - 1].detach());
+        if warmup {
+            let termb = squared_error(b_var, ret);
+            lb = Some(match lb {
+                Some(a) => a.add(termb),
+                None => termb,
+            });
+            continue;
+        }
+        let z = logits_z[i - 1];
+        let advantage = ret - b_var.value().item();
+        // Sampled actions only: a halt forced by the sequence end was
+        // never drawn from the policy and yields no surrogate term.
+        let log_p = if i == n_k {
+            if halted_by_policy {
+                Some(log_sigmoid(z))
+            } else {
+                None
+            }
+        } else {
+            Some(log_one_minus_sigmoid(z))
+        };
+        let term3 = log_sigmoid(z).neg();
+        let termb = squared_error(b_var, ret);
+        if let Some(log_p) = log_p {
+            let term2 = log_p.scale(-advantage);
+            l2 = Some(match l2 {
+                Some(a) => a.add(term2),
+                None => term2,
+            });
+        }
+        l3 = Some(match l3 {
+            Some(a) => a.add(term3),
+            None => term3,
+        });
+        lb = Some(match lb {
+            Some(a) => a.add(termb),
+            None => termb,
+        });
+    }
+    let zero = || sess.scalar(0.0);
+    EpisodeLosses {
+        l1,
+        l2: l2.unwrap_or_else(zero),
+        l3: l3.unwrap_or_else(zero),
+        lb: lb.expect("episodes are non-empty"),
+        pred,
+        n_k,
+    }
+}
+
+/// Deterministic threshold halting over tape-free per-step states;
+/// returns `(n_k, prediction)`.
+pub fn threshold_halt(
+    store: &ParamStore,
+    heads: &RlHeads,
+    states: &[Tensor],
+    threshold: f32,
+) -> (usize, usize) {
+    assert!(!states.is_empty());
+    for (i, s) in states.iter().enumerate() {
+        if heads.halt_probability(store, s) > threshold {
+            let (pred, _) = heads.predict(store, s);
+            return (i + 1, pred);
+        }
+    }
+    let last = states.len() - 1;
+    let (pred, _) = heads.predict(store, &states[last]);
+    (states.len(), pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvec_data::ValueSchema;
+
+    #[test]
+    fn heads_shapes_and_groups() {
+        let schema = ValueSchema::new(vec!["a".into()], vec![4], 0);
+        let cfg = BaselineConfig::tiny(&schema, 3);
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(1);
+        let heads = RlHeads::new(&mut store, "h", &cfg, &mut rng);
+
+        let sess = Session::new();
+        let s = sess.input(Tensor::ones(1, cfg.d_model));
+        assert_eq!(heads.policy_logit(&sess, &store, s).shape(), (1, 1));
+        assert_eq!(heads.baseline(&sess, &store, s).shape(), (1, 1));
+        assert_eq!(heads.class_logits(&sess, &store, s).shape(), (1, 3));
+
+        let m: std::collections::BTreeSet<_> = heads.model_param_ids().into_iter().collect();
+        let b: std::collections::BTreeSet<_> = heads.baseline_param_ids().into_iter().collect();
+        assert!(m.is_disjoint(&b));
+    }
+
+    #[test]
+    fn tensor_and_tape_paths_agree() {
+        let schema = ValueSchema::new(vec!["a".into()], vec![4], 0);
+        let cfg = BaselineConfig::tiny(&schema, 2);
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(2);
+        let heads = RlHeads::new(&mut store, "h", &cfg, &mut rng);
+        let s = Tensor::rand_uniform(1, cfg.d_model, -1.0, 1.0, &mut rng);
+
+        let sess = Session::new();
+        let sv = sess.input(s.clone());
+        let z = heads.policy_logit(&sess, &store, sv).value().item();
+        assert!((sigmoid_scalar(z) - heads.halt_probability(&store, &s)).abs() < 1e-6);
+        let tape_probs = heads.class_logits(&sess, &store, sv).value().softmax_rows();
+        let (_, probs) = heads.predict(&store, &s);
+        assert!(tape_probs.allclose(&probs, 1e-6));
+    }
+}

@@ -1,0 +1,196 @@
+//! SRN-Confidence: halt once the classifier's maximum softmax probability
+//! clears a threshold `mu` (inspired by Parrish et al., JMLR 2013).
+//!
+//! Training supervises the classifier at *every* prefix position so its
+//! confidence is calibrated for any halting point; evaluation walks the
+//! sequence until the confidence clears `mu`.
+
+use crate::seq::{sequences_of, SeqSample};
+use crate::srn::SrnEncoder;
+use crate::{BaselineConfig, EarlyClassifier};
+use kvec::eval::{report_from_outcomes, EvalReport, KeyOutcome};
+use kvec_autograd::Var;
+use kvec_data::TangledSequence;
+use kvec_nn::loss::cross_entropy_logits;
+use kvec_nn::{clip_global_norm, Adam, Linear, Optimizer, ParamId, ParamStore, Session};
+use kvec_tensor::KvecRng;
+
+/// The SRN-Confidence baseline.
+pub struct SrnConfidence {
+    cfg: BaselineConfig,
+    store: ParamStore,
+    encoder: SrnEncoder,
+    classifier: Linear,
+    opt: Adam,
+    ids: Vec<ParamId>,
+}
+
+impl SrnConfidence {
+    /// Builds the model; the halting threshold is `cfg.mu`.
+    pub fn new(cfg: &BaselineConfig, rng: &mut KvecRng) -> Self {
+        let mut store = ParamStore::new();
+        let encoder = SrnEncoder::new(&mut store, "srn_c", cfg, rng);
+        let classifier = Linear::new(
+            &mut store,
+            "srn_c.classifier",
+            cfg.d_model,
+            cfg.num_classes,
+            rng,
+        );
+        let mut ids = encoder.param_ids();
+        ids.extend(classifier.param_ids());
+        let opt = Adam::new(&store, ids.clone(), cfg.lr);
+        Self {
+            cfg: cfg.clone(),
+            store,
+            encoder,
+            classifier,
+            opt,
+            ids,
+        }
+    }
+
+    fn train_sequence(&mut self, seq: &SeqSample, rng: &mut KvecRng) -> f32 {
+        let sess = Session::new();
+        let e = self.encoder.encode(&sess, &self.store, &seq.values, Some(rng));
+        // Supervise every prefix, averaged, so confidence is meaningful at
+        // any halting point.
+        let mut loss_acc: Option<Var<'_>> = None;
+        for i in 0..seq.len() {
+            let logits = self.classifier.forward(&sess, &self.store, e.row(i));
+            let ce = cross_entropy_logits(logits, seq.label);
+            loss_acc = Some(match loss_acc {
+                Some(a) => a.add(ce),
+                None => ce,
+            });
+        }
+        let loss_var = loss_acc.expect("non-empty").scale(1.0 / seq.len() as f32);
+        let loss = loss_var.value().item();
+        sess.backward(loss_var);
+        sess.accumulate_grads(&mut self.store);
+        clip_global_norm(&mut self.store, &self.ids, self.cfg.grad_clip);
+        self.opt.step(&mut self.store);
+        self.store.zero_grads();
+        loss
+    }
+}
+
+impl EarlyClassifier for SrnConfidence {
+    fn name(&self) -> &'static str {
+        "SRN-Confidence"
+    }
+
+    fn train_epoch(&mut self, scenarios: &[TangledSequence], rng: &mut KvecRng) -> f32 {
+        let seqs = sequences_of(scenarios);
+        let mut total = 0.0;
+        for seq in &seqs {
+            total += self.train_sequence(seq, rng);
+        }
+        total / seqs.len().max(1) as f32
+    }
+
+    fn evaluate(&self, scenarios: &[TangledSequence]) -> EvalReport {
+        let mut outcomes = Vec::new();
+        for seq in sequences_of(scenarios) {
+            // One causal encode; confidence checked at every prefix row.
+            let sess = Session::new();
+            let e = self
+                .encoder
+                .encode(&sess, &self.store, &seq.values, None)
+                .value();
+            let mut n_k = seq.len();
+            let mut pred = 0usize;
+            for i in 0..seq.len() {
+                let probs = self
+                    .classifier
+                    .apply(&self.store, &e.row_tensor(i))
+                    .softmax_rows();
+                let best = probs.argmax_row(0);
+                if probs[(0, best)] > self.cfg.mu || i + 1 == seq.len() {
+                    n_k = i + 1;
+                    pred = best;
+                    break;
+                }
+            }
+            outcomes.push(KeyOutcome {
+                key: seq.key,
+                label: seq.label,
+                pred,
+                n_k,
+                seq_len: seq.len(),
+                halt_global_pos: n_k - 1,
+                internal_attention: 1.0,
+                external_attention: 0.0,
+            });
+        }
+        report_from_outcomes(outcomes, self.cfg.num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvec_data::synth::{generate_traffic, TrafficConfig};
+    use kvec_data::Dataset;
+
+    fn dataset(seed: u64) -> Dataset {
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let dcfg = TrafficConfig {
+            num_flows: 24,
+            num_classes: 2,
+            mean_len: 12,
+            min_len: 10,
+            max_len: 16,
+            sig_noise: 0.0,
+            ..TrafficConfig::traffic_app(0)
+        };
+        let pool = generate_traffic(&dcfg, &mut rng);
+        Dataset::from_pool("t", dcfg.schema(), 2, pool, 4, &mut rng)
+    }
+
+    #[test]
+    fn evaluates_within_bounds() {
+        let ds = dataset(1);
+        let cfg = BaselineConfig::tiny(&ds.schema, 2).with_mu(0.9);
+        let mut rng = KvecRng::seed_from_u64(2);
+        let model = SrnConfidence::new(&cfg, &mut rng);
+        let report = model.evaluate(&ds.test);
+        for o in &report.outcomes {
+            assert!(o.n_k >= 1 && o.n_k <= o.seq_len);
+        }
+    }
+
+    #[test]
+    fn lower_mu_halts_earlier_after_training() {
+        let ds = dataset(3);
+        let mut rng = KvecRng::seed_from_u64(4);
+        let cfg = BaselineConfig::tiny(&ds.schema, 2);
+        let mut model = SrnConfidence::new(&cfg, &mut rng);
+        for _ in 0..8 {
+            model.train_epoch(&ds.train, &mut rng);
+        }
+        let mut low = model;
+        low.cfg.mu = 0.6;
+        let e_low = low.evaluate(&ds.test).earliness;
+        low.cfg.mu = 0.999;
+        let e_high = low.evaluate(&ds.test).earliness;
+        assert!(
+            e_low <= e_high,
+            "mu=0.6 earliness {e_low} vs mu=0.999 {e_high}"
+        );
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let ds = dataset(5);
+        let cfg = BaselineConfig::tiny(&ds.schema, 2);
+        let mut rng = KvecRng::seed_from_u64(6);
+        let mut model = SrnConfidence::new(&cfg, &mut rng);
+        let first = model.train_epoch(&ds.train, &mut rng);
+        let mut last = first;
+        for _ in 0..5 {
+            last = model.train_epoch(&ds.train, &mut rng);
+        }
+        assert!(last < first, "first {first} last {last}");
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end model benchmarks: the teacher-forced training step, the
+//! evaluation forward and the streaming-inference hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kvec::train::Trainer;
+use kvec::{KvecConfig, KvecModel, StreamingEngine};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::{mixer, TangledSequence};
+use kvec_nn::Session;
+use kvec_tensor::KvecRng;
+use std::hint::black_box;
+
+fn scenario(k: usize, len: usize, seed: u64) -> (TangledSequence, TrafficConfig) {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = TrafficConfig {
+        num_flows: k,
+        num_classes: 4,
+        mean_len: len,
+        min_len: len.max(10) - 2,
+        max_len: len + 2,
+        ..TrafficConfig::traffic_fg(0)
+    };
+    let pool = generate_traffic(&cfg, &mut rng);
+    (mixer::tangle_group(&pool, &mut rng), cfg)
+}
+
+fn model_for(cfg: &TrafficConfig, seed: u64) -> KvecModel {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let mut mcfg = KvecConfig::for_schema(&cfg.schema(), cfg.num_classes);
+    mcfg.d_model = 32;
+    mcfg.fusion_hidden = 32;
+    mcfg.d_ff = 64;
+    mcfg.n_blocks = 2;
+    KvecModel::new(&mcfg, &mut rng)
+}
+
+fn bench_encode_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_stream");
+    for (k, len) in [(4usize, 16usize), (8, 16), (8, 32)] {
+        let (tangled, dcfg) = scenario(k, len, 3);
+        let model = model_for(&dcfg, 4);
+        let t = tangled.len();
+        group.throughput(Throughput::Elements(t as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("K{k}_len{len}_T{t}")),
+            &t,
+            |bench, _| {
+                bench.iter(|| {
+                    let sess = Session::new();
+                    black_box(model.encode_stream(&sess, &tangled, None).e.value())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_scenario");
+    group.sample_size(10);
+    for (k, len) in [(4usize, 16usize), (8, 16)] {
+        let (tangled, dcfg) = scenario(k, len, 5);
+        let model_cfg = {
+            let mut m = KvecConfig::for_schema(&dcfg.schema(), dcfg.num_classes);
+            m.d_model = 32;
+            m.fusion_hidden = 32;
+            m.d_ff = 64;
+            m
+        };
+        group.bench_function(BenchmarkId::from_parameter(format!("K{k}_len{len}")), |b| {
+            let mut rng = KvecRng::seed_from_u64(6);
+            let mut model = KvecModel::new(&model_cfg, &mut rng);
+            let mut trainer = Trainer::new(&model_cfg, &model);
+            b.iter(|| black_box(trainer.train_scenario(&mut model, &tangled, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_inference");
+    for (k, len) in [(8usize, 16usize), (16, 32)] {
+        let (tangled, dcfg) = scenario(k, len, 7);
+        let model = model_for(&dcfg, 8);
+        group.throughput(Throughput::Elements(tangled.len() as u64));
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("K{k}_len{len}_items{}", tangled.len())),
+            |b| b.iter(|| black_box(StreamingEngine::run(&model, &tangled))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_forward, bench_train_step, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Regenerates **Figure 10**: distribution of internal vs external
+//! attention score across halting positions (Traffic-FG).
+//!
+//! Two complementary views:
+//! 1. the **per-position attention profile** — internal vs external mass
+//!    as a function of an item's relative position inside its sequence
+//!    (the mechanism: early items have little intra-sequence history and
+//!    lean on cross-sequence value correlations; late items attend
+//!    internally);
+//! 2. the **per-halting-bin table** from a trained halting model, matching
+//!    the paper's presentation (attention scores + accuracy at various
+//!    halting earliness levels).
+
+use kvec::eval::attention_profile;
+use kvec_bench::datasets;
+use kvec_bench::harness;
+
+fn main() {
+    let epochs = harness::default_epochs();
+    let seed = 42u64;
+    let ds = datasets::traffic_fg(seed);
+    println!("Figure 10 reproduction: attention-score distribution (traffic-fg)");
+    println!("epochs={epochs} seed={seed} fast={}", datasets::fast_mode());
+
+    // A mid-range beta so halting positions spread over the range.
+    let cfg = harness::kvec_config(&ds).with_beta(0.02);
+    let (model, report) = harness::run_kvec_with(&cfg, &ds, epochs, seed);
+
+    println!();
+    println!("(1) attention profile by relative position inside the sequence:");
+    println!(
+        "{:<16} {:>8} {:>10} {:>10}",
+        "position bin", "samples", "internal", "external"
+    );
+    let bins = 5;
+    let profile = attention_profile(&model, &ds.test, bins);
+    for (i, b) in profile.iter().enumerate() {
+        println!(
+            "[{:>3.0}%,{:>3.0}%)    {:>8} {:>10.3} {:>10.3}",
+            100.0 * i as f32 / bins as f32,
+            100.0 * (i + 1) as f32 / bins as f32,
+            b.count,
+            b.internal,
+            b.external
+        );
+    }
+
+    println!();
+    println!("(2) trained halting model, bucketed by halting earliness:");
+    let hbins = [(0.0, 0.1), (0.1, 0.2), (0.2, 0.4), (0.4, 0.7), (0.7, 1.01)];
+    println!(
+        "{:<14} {:>6} {:>10} {:>10} {:>9}",
+        "earliness bin", "n", "internal", "external", "accuracy"
+    );
+    for (lo, hi) in hbins {
+        let in_bin: Vec<_> = report
+            .outcomes
+            .iter()
+            .filter(|o| {
+                let e = o.halt_fraction();
+                e >= lo && e < hi
+            })
+            .collect();
+        if in_bin.is_empty() {
+            println!("[{lo:.1},{hi:.1})    {:>6}", 0);
+            continue;
+        }
+        let n = in_bin.len() as f32;
+        let internal = in_bin.iter().map(|o| o.internal_attention).sum::<f32>() / n;
+        let external = in_bin.iter().map(|o| o.external_attention).sum::<f32>() / n;
+        let acc = in_bin.iter().filter(|o| o.correct()).count() as f32 / n;
+        println!(
+            "[{lo:.1},{hi:.1})    {:>6} {:>10.3} {:>10.3} {:>9.3}",
+            in_bin.len(),
+            internal,
+            external,
+            acc
+        );
+    }
+    println!();
+    println!(
+        "overall: earliness {:.3}, accuracy {:.3}",
+        report.earliness, report.accuracy
+    );
+}

@@ -1,0 +1,99 @@
+//! Regenerates **Figure 11**: distribution of predicted halting positions
+//! versus the ground-truth stop signal on the Synthetic-Traffic dataset
+//! (early-stop and late-stop sub-datasets), for KVEC and KVEC without
+//! value correlation.
+//!
+//! The paper's observation to reproduce: KVEC's halting positions track
+//! the true stop signal (right after the 10-item signature in the
+//! early-stop data, near the end in the late-stop data), and removing the
+//! value correlation degrades that tracking.
+
+use kvec_bench::datasets;
+use kvec_bench::harness;
+use kvec_data::synth::StopPosition;
+use kvec_data::Dataset;
+
+fn histogram(label: &str, positions: &[usize], max_len: usize) {
+    // Ten buckets over sequence positions.
+    let buckets = 10usize;
+    let mut counts = vec![0usize; buckets];
+    for &p in positions {
+        let b = ((p.saturating_sub(1)) * buckets / max_len).min(buckets - 1);
+        counts[b] += 1;
+    }
+    let total = positions.len().max(1);
+    print!("{label:<28}");
+    for c in counts {
+        print!(" {:>5.2}", c as f32 / total as f32);
+    }
+    println!();
+}
+
+fn run(ds: &Dataset, tag: &str, epochs: usize, seed: u64) {
+    let max_len = 40; // scaled_len used by the dataset builder
+    println!();
+    println!(
+        "== {tag} (true stops at {:?}) ==",
+        ds.test
+            .first()
+            .map(|t| t.true_stops.first().map(|(_, p)| *p))
+    );
+    println!(
+        "{:<28} {}",
+        "halting-position histogram",
+        (0..10)
+            .map(|b| format!("{:>5}", format!("{}%", (b + 1) * 10)))
+            .collect::<String>()
+    );
+
+    // True halting positions.
+    let mut true_positions = Vec::new();
+    for t in &ds.test {
+        for (_k, p) in &t.true_stops {
+            true_positions.push(*p);
+        }
+    }
+    histogram("ground truth", &true_positions, max_len);
+
+    // KVEC.
+    let cfg = harness::kvec_config(ds).with_beta(0.02);
+    let (_m, report) = harness::run_kvec_with(&cfg, ds, epochs, seed);
+    let positions: Vec<usize> = report.outcomes.iter().map(|o| o.n_k).collect();
+    histogram("KVEC", &positions, max_len);
+    println!(
+        "{:<28} accuracy {:.3}, mean halt {:.1}",
+        "", report.accuracy, mean(&positions)
+    );
+
+    // KVEC without value correlation.
+    let mut cfg = harness::kvec_config(ds).with_beta(0.02);
+    cfg.use_value_correlation = false;
+    let (_m, report) = harness::run_kvec_with(&cfg, ds, epochs, seed);
+    let positions: Vec<usize> = report.outcomes.iter().map(|o| o.n_k).collect();
+    histogram("KVEC w/o Value Correlation", &positions, max_len);
+    println!(
+        "{:<28} accuracy {:.3}, mean halt {:.1}",
+        "", report.accuracy, mean(&positions)
+    );
+}
+
+fn mean(xs: &[usize]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<usize>() as f32 / xs.len() as f32
+    }
+}
+
+fn main() {
+    let epochs = harness::default_epochs();
+    let seed = 42u64;
+    println!("Figure 11 reproduction: halting-position distributions (synthetic-traffic)");
+    println!("epochs={epochs} seed={seed} fast={}", datasets::fast_mode());
+
+    let early = datasets::synthetic_traffic(StopPosition::Early, seed);
+    run(&early, "early-stop sub-dataset", epochs, seed);
+
+    let late = datasets::synthetic_traffic(StopPosition::Late, seed);
+    run(&late, "late-stop sub-dataset", epochs, seed);
+}

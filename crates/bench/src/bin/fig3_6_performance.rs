@@ -1,0 +1,53 @@
+//! Regenerates **Figures 3-6**: classification performance (accuracy,
+//! precision, recall, F1) versus earliness for KVEC and the four baselines
+//! on the four real-dataset stand-ins.
+//!
+//! Each method's earliness knob (Table II) is swept; every sweep point is
+//! an independent training run. Results are cached under
+//! `results/sweep_cache/` and shared with `fig7_hm`.
+//!
+//! Usage: `fig3_6_performance [--dataset <name>] [--epochs N] [--seed S]`
+//! with name in {ustc-tfc2016, movielens-1m, traffic-fg, traffic-app};
+//! default runs all four.
+
+use kvec_bench::datasets;
+use kvec_bench::harness;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = arg_value(&args, "--dataset");
+    let epochs = arg_value(&args, "--epochs")
+        .map(|v| v.parse().expect("--epochs wants a number"))
+        .unwrap_or_else(harness::default_epochs);
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed wants a number"))
+        .unwrap_or(42);
+
+    let names: Vec<&str> = match &dataset {
+        Some(d) => vec![d.as_str()],
+        None => datasets::REAL_DATASETS.to_vec(),
+    };
+
+    println!("Figures 3-6 reproduction: metrics vs earliness");
+    println!("epochs={epochs} seed={seed} fast={}", datasets::fast_mode());
+    println!("Table II knobs: KVEC beta | EARLIEST/SRN-EARLIEST lambda | SRN-Fixed tau | SRN-Confidence mu");
+
+    for name in names {
+        println!();
+        println!("== dataset {name} ==");
+        harness::print_header();
+        for p in harness::sweep_dataset(name, epochs, seed) {
+            println!(
+                "{:<16} {:>8.3} {:>10.3} {:>9.3} {:>10.3} {:>8.3} {:>8.3} {:>8.3}",
+                p.method, p.knob, p.earliness, p.accuracy, p.precision, p.recall, p.f1, p.hm
+            );
+        }
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

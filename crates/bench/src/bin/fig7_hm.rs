@@ -1,0 +1,54 @@
+//! Regenerates **Figure 7**: harmonic mean of accuracy and earliness
+//! versus earliness, for every method on the four real-dataset stand-ins.
+//!
+//! Shares the cached sweep runs of `fig3_6_performance` (run that binary
+//! first to warm the cache, or let this one train from scratch).
+
+use kvec_bench::datasets;
+use kvec_bench::harness;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = args
+        .iter()
+        .position(|a| a == "--dataset")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let epochs = args
+        .iter()
+        .position(|a| a == "--epochs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--epochs wants a number"))
+        .unwrap_or_else(harness::default_epochs);
+    let seed = 42u64;
+
+    let names: Vec<&str> = match &dataset {
+        Some(d) => vec![d.as_str()],
+        None => datasets::REAL_DATASETS.to_vec(),
+    };
+
+    println!("Figure 7 reproduction: harmonic mean vs earliness");
+    println!("epochs={epochs} seed={seed} fast={}", datasets::fast_mode());
+    for name in names {
+        println!();
+        println!("== dataset {name} ==");
+        println!(
+            "{:<16} {:>8} {:>10} {:>9} {:>8}",
+            "method", "knob", "earliness", "accuracy", "hm"
+        );
+        let points = harness::sweep_dataset(name, epochs, seed);
+        let mut best: std::collections::BTreeMap<String, f32> = Default::default();
+        for p in &points {
+            println!(
+                "{:<16} {:>8.3} {:>10.3} {:>9.3} {:>8.3}",
+                p.method, p.knob, p.earliness, p.accuracy, p.hm
+            );
+            let e = best.entry(p.method.clone()).or_insert(0.0);
+            *e = e.max(p.hm);
+        }
+        println!("-- best HM per method --");
+        for (method, hm) in best {
+            println!("{method:<16} {hm:>8.3}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Figure 8**: sensitivity of KVEC to the loss weights
+//! `alpha` (policy surrogate) and `beta` (lateness penalty) on Traffic-FG.
+//!
+//! Fig. 8(a): beta frozen at 1e-4, alpha swept over [0, 10].
+//! Fig. 8(b): alpha frozen at 0.1, beta swept over [-0.05, 5].
+//!
+//! The paper's observation to reproduce: alpha moves accuracy but barely
+//! touches earliness; beta is the earliness-accuracy dial.
+
+use kvec_bench::datasets;
+use kvec_bench::harness::{self};
+
+fn main() {
+    let epochs = harness::default_epochs();
+    let seed = 42u64;
+    let ds = datasets::traffic_fg(seed);
+    println!("Figure 8 reproduction: hyperparameter sensitivity (traffic-fg)");
+    println!("epochs={epochs} seed={seed} fast={}", datasets::fast_mode());
+
+    println!();
+    println!("(a) beta = 1e-4, sweeping alpha");
+    println!("{:>8} {:>10} {:>9}", "alpha", "earliness", "accuracy");
+    for alpha in [0.0f32, 0.01, 0.1, 1.0, 10.0] {
+        let cfg = harness::kvec_config(&ds).with_alpha(alpha).with_beta(1e-4);
+        let (_m, r) = harness::run_kvec_with(&cfg, &ds, epochs, seed);
+        println!("{:>8.3} {:>10.3} {:>9.3}", alpha, r.earliness, r.accuracy);
+    }
+
+    println!();
+    println!("(b) alpha = 0.1, sweeping beta");
+    println!("{:>8} {:>10} {:>9}", "beta", "earliness", "accuracy");
+    for beta in [-0.05f32, 0.0, 0.1, 0.5, 2.0, 5.0] {
+        let cfg = harness::kvec_config(&ds).with_alpha(0.1).with_beta(beta);
+        let (_m, r) = harness::run_kvec_with(&cfg, &ds, epochs, seed);
+        println!("{:>8.3} {:>10.3} {:>9.3}", beta, r.earliness, r.accuracy);
+    }
+}

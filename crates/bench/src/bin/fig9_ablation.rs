@@ -1,0 +1,59 @@
+//! Regenerates **Figure 9**: component ablation of KVEC on Traffic-FG.
+//!
+//! Variants (paper Section V-D):
+//! - full KVEC;
+//! - w/o key correlation (only value-correlation edges remain);
+//! - w/o value correlation (each sequence modeled independently);
+//! - w/o time-related embeddings (relative position + arrival time);
+//! - w/o membership embedding.
+//!
+//! Each variant is trained at two beta values to show the effect across
+//! the earliness range. Expected shape: removing value correlation hurts
+//! the most, key correlation second, embeddings least.
+
+use kvec::KvecConfig;
+use kvec_bench::datasets;
+use kvec_bench::harness;
+
+fn variants(base: &KvecConfig) -> Vec<(&'static str, KvecConfig)> {
+    let mut v = Vec::new();
+    v.push(("full KVEC", base.clone()));
+    let mut c = base.clone();
+    c.use_key_correlation = false;
+    v.push(("w/o Key Correlation", c));
+    let mut c = base.clone();
+    c.use_value_correlation = false;
+    v.push(("w/o Value Correlation", c));
+    let mut c = base.clone();
+    c.use_time_embeddings = false;
+    v.push(("w/o Time-related Embed.", c));
+    let mut c = base.clone();
+    c.use_membership_embedding = false;
+    v.push(("w/o Membership Embed.", c));
+    v
+}
+
+fn main() {
+    let epochs = harness::default_epochs();
+    let seed = 42u64;
+    let ds = datasets::traffic_fg(seed);
+    println!("Figure 9 reproduction: ablation study (traffic-fg)");
+    println!("epochs={epochs} seed={seed} fast={}", datasets::fast_mode());
+    println!(
+        "{:<26} {:>6} {:>10} {:>9} {:>8}",
+        "variant", "beta", "earliness", "accuracy", "hm"
+    );
+
+    let base = harness::kvec_config(&ds);
+    for beta in [0.5f32, 0.02] {
+        for (name, cfg) in variants(&base) {
+            let cfg = cfg.with_beta(beta);
+            let (_m, r) = harness::run_kvec_with(&cfg, &ds, epochs, seed);
+            println!(
+                "{:<26} {:>6.2} {:>10.3} {:>9.3} {:>8.3}",
+                name, beta, r.earliness, r.accuracy, r.hm
+            );
+        }
+        println!();
+    }
+}

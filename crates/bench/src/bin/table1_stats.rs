@@ -1,0 +1,62 @@
+//! Regenerates **Table I**: dataset statistics (#keys, avg |S_k|, avg
+//! session length, #classes) for the five synthetic stand-in datasets.
+//!
+//! Uses paper-shaped generator parameters. Key counts for the two campus
+//! datasets are reduced 10x (6,000 / 5,000 instead of 60,000 / 50,000) to
+//! keep the binary instant; the per-key statistics the table reports are
+//! unaffected by the key count.
+
+use kvec_data::stats::compute_stats;
+use kvec_data::synth::{
+    generate_movielens, generate_stop_signal, generate_traffic, MovieLensConfig, StopPosition,
+    StopSignalConfig, TrafficConfig,
+};
+use kvec_tensor::KvecRng;
+
+fn main() {
+    let seed = 20240501u64;
+    println!("Table I reproduction (synthetic stand-ins; seed {seed})");
+    println!(
+        "{:<20} {:>8} {:>10} {:>10} {:>8}",
+        "dataset", "#keys", "avg |S_k|", "avg sess", "#classes"
+    );
+
+    let mut rng = KvecRng::seed_from_u64(seed);
+
+    let ustc = TrafficConfig::ustc_tfc2016(3200);
+    let pool = generate_traffic(&ustc, &mut rng);
+    println!("{}", compute_stats(&pool, &ustc.schema()).table_row(ustc.name));
+
+    let ml = MovieLensConfig::movielens_1m(6040);
+    let pool = generate_movielens(&ml, &mut rng);
+    println!(
+        "{}",
+        compute_stats(&pool, &ml.schema()).table_row("movielens-1m")
+    );
+
+    let fg = TrafficConfig::traffic_fg(6000);
+    let pool = generate_traffic(&fg, &mut rng);
+    println!("{}", compute_stats(&pool, &fg.schema()).table_row(fg.name));
+
+    let app = TrafficConfig::traffic_app(5000);
+    let pool = generate_traffic(&app, &mut rng);
+    println!("{}", compute_stats(&pool, &app.schema()).table_row(app.name));
+
+    // Synthetic-Traffic: half early-stop, half late-stop, length 100.
+    let early = StopSignalConfig::paper(5000, StopPosition::Early);
+    let mut pool = generate_stop_signal(&early, &mut rng);
+    let late = StopSignalConfig::paper(5000, StopPosition::Late);
+    pool.extend(generate_stop_signal(&late, &mut rng));
+    println!(
+        "{}",
+        compute_stats(&pool, &early.schema()).table_row("synthetic-traffic")
+    );
+
+    println!();
+    println!("paper Table I for reference:");
+    println!("  USTC-TFC2016       3,200   31.2    8.3    9");
+    println!("  MovieLens-1M       6,040  163.5    1.7    2");
+    println!("  Traffic-FG        60,000   50.7    2.4   12");
+    println!("  Traffic-App       50,000   57.5    2.7   10");
+    println!("  Synthetic-Traffic 10,000  100.0    2.1    2");
+}

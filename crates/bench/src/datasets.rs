@@ -1,0 +1,164 @@
+//! Repro-scale dataset builders shared by every experiment binary.
+//!
+//! The paper's datasets have 3k-60k keys; a pure-Rust CPU autodiff trains
+//! hundreds of times slower than the authors' GPU stack, so the default
+//! repro scale keeps the *structure* (classes, session statistics, signal
+//! placement) while shrinking the number of keys and the flow lengths.
+//! `KVEC_FAST=1` shrinks further for smoke tests; `table1_stats` uses the
+//! paper-shaped generators directly.
+
+use kvec_data::synth::{
+    generate_movielens, generate_stop_signal, generate_traffic, MovieLensConfig, StopPosition,
+    StopSignalConfig, TrafficConfig,
+};
+use kvec_data::Dataset;
+use kvec_tensor::KvecRng;
+
+/// True when `KVEC_FAST=1` is set (smoke-test scale).
+pub fn fast_mode() -> bool {
+    std::env::var("KVEC_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+fn scale(normal: usize, fast: usize) -> usize {
+    if fast_mode() {
+        fast
+    } else {
+        normal
+    }
+}
+
+/// Default number of concurrent sequences per scenario.
+pub const K_CONCURRENT: usize = 8;
+
+/// USTC-TFC2016-like dataset at repro scale.
+pub fn ustc_tfc2016(seed: u64) -> Dataset {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = TrafficConfig {
+        num_flows: scale(270, 45),
+        ..TrafficConfig::ustc_tfc2016(0).scaled_len(0.5)
+    };
+    let pool = generate_traffic(&cfg, &mut rng);
+    Dataset::from_pool_clustered(
+        cfg.name,
+        cfg.schema(),
+        cfg.num_classes,
+        pool,
+        K_CONCURRENT,
+        3,
+        &mut rng,
+    )
+}
+
+/// Traffic-FG-like dataset at repro scale.
+pub fn traffic_fg(seed: u64) -> Dataset {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = TrafficConfig {
+        num_flows: scale(360, 48),
+        ..TrafficConfig::traffic_fg(0).scaled_len(0.4)
+    };
+    let pool = generate_traffic(&cfg, &mut rng);
+    Dataset::from_pool_clustered(
+        cfg.name,
+        cfg.schema(),
+        cfg.num_classes,
+        pool,
+        K_CONCURRENT,
+        3,
+        &mut rng,
+    )
+}
+
+/// Traffic-App-like dataset at repro scale.
+pub fn traffic_app(seed: u64) -> Dataset {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = TrafficConfig {
+        num_flows: scale(300, 40),
+        ..TrafficConfig::traffic_app(0).scaled_len(0.4)
+    };
+    let pool = generate_traffic(&cfg, &mut rng);
+    Dataset::from_pool_clustered(
+        cfg.name,
+        cfg.schema(),
+        cfg.num_classes,
+        pool,
+        K_CONCURRENT,
+        3,
+        &mut rng,
+    )
+}
+
+/// MovieLens-1M-like dataset at repro scale.
+pub fn movielens(seed: u64) -> Dataset {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = MovieLensConfig {
+        num_users: scale(160, 30),
+        ..MovieLensConfig::movielens_1m(0).scaled_len(0.25)
+    };
+    let pool = generate_movielens(&cfg, &mut rng);
+    Dataset::from_pool("movielens-1m", cfg.schema(), 2, pool, 4, &mut rng)
+}
+
+/// Synthetic-Traffic dataset (early-stop or late-stop) at repro scale.
+pub fn synthetic_traffic(position: StopPosition, seed: u64) -> Dataset {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = StopSignalConfig {
+        num_flows: scale(160, 32),
+        ..StopSignalConfig::paper(0, position).scaled_len(40)
+    };
+    let pool = generate_stop_signal(&cfg, &mut rng);
+    let name = match position {
+        StopPosition::Early => "synthetic-early-stop",
+        StopPosition::Late => "synthetic-late-stop",
+    };
+    Dataset::from_pool(name, cfg.schema(), 2, pool, 4, &mut rng)
+}
+
+/// Builds a named dataset (`ustc-tfc2016`, `traffic-fg`, `traffic-app`,
+/// `movielens-1m`).
+pub fn by_name(name: &str, seed: u64) -> Dataset {
+    match name {
+        "ustc-tfc2016" => ustc_tfc2016(seed),
+        "traffic-fg" => traffic_fg(seed),
+        "traffic-app" => traffic_app(seed),
+        "movielens-1m" => movielens(seed),
+        other => panic!(
+            "unknown dataset {other:?}; expected ustc-tfc2016 | traffic-fg | \
+             traffic-app | movielens-1m"
+        ),
+    }
+}
+
+/// All four real-dataset names, in the paper's figure order.
+pub const REAL_DATASETS: [&str; 4] = [
+    "ustc-tfc2016",
+    "movielens-1m",
+    "traffic-fg",
+    "traffic-app",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_consistent_datasets() {
+        // SAFETY: tests in this module are the only env users and run in
+        // one process; force fast mode for speed.
+        std::env::set_var("KVEC_FAST", "1");
+        for name in REAL_DATASETS {
+            let ds = by_name(name, 7);
+            assert!(ds.total_keys() > 10, "{name} too small");
+            assert!(!ds.train.is_empty() && !ds.test.is_empty(), "{name}");
+            assert!(ds.num_classes >= 2);
+        }
+        let early = synthetic_traffic(StopPosition::Early, 7);
+        assert!(early.train.iter().any(|t| !t.true_stops.is_empty()));
+        std::env::remove_var("KVEC_FAST");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_name_panics() {
+        let _ = by_name("nope", 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! The classification network (paper Section IV-D): one fully-connected
+//! layer followed by softmax over the `C` classes.
+
+use crate::KvecConfig;
+use kvec_autograd::Var;
+use kvec_nn::{Linear, ParamId, ParamStore, Session};
+use kvec_tensor::{KvecRng, Tensor};
+
+/// Linear-softmax classifier over sequence representations.
+pub struct Classifier {
+    head: Linear,
+    num_classes: usize,
+}
+
+impl Classifier {
+    /// Creates the classifier.
+    pub fn new(store: &mut ParamStore, cfg: &KvecConfig, rng: &mut KvecRng) -> Self {
+        Self {
+            head: Linear::new(store, "classifier", cfg.d_model, cfg.num_classes, rng),
+            num_classes: cfg.num_classes,
+        }
+    }
+
+    /// Class logits of a representation (`1 x d -> 1 x C`); softmax is
+    /// folded into the loss / prediction.
+    pub fn logits<'s>(&self, sess: &'s Session, store: &ParamStore, s: Var<'s>) -> Var<'s> {
+        self.head.forward(sess, store, s)
+    }
+
+    /// Tape-free prediction: `(argmax class, class probabilities)`.
+    pub fn predict(&self, store: &ParamStore, s: &Tensor) -> (usize, Tensor) {
+        let logits = self.head.apply(store, s);
+        let probs = logits.softmax_rows();
+        (probs.argmax_row(0), probs)
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Parameter ids of the head.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.head.param_ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvec_data::ValueSchema;
+
+    fn make() -> (Classifier, ParamStore, KvecConfig) {
+        let schema = ValueSchema::new(vec!["a".into()], vec![4], 0);
+        let cfg = KvecConfig::tiny(&schema, 3);
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(1);
+        let clf = Classifier::new(&mut store, &cfg, &mut rng);
+        (clf, store, cfg)
+    }
+
+    #[test]
+    fn logits_shape() {
+        let (clf, store, cfg) = make();
+        let sess = Session::new();
+        let s = sess.input(Tensor::ones(1, cfg.d_model));
+        assert_eq!(clf.logits(&sess, &store, s).shape(), (1, 3));
+    }
+
+    #[test]
+    fn predict_probabilities_sum_to_one() {
+        let (clf, store, cfg) = make();
+        let mut rng = KvecRng::seed_from_u64(2);
+        let s = Tensor::rand_uniform(1, cfg.d_model, -1.0, 1.0, &mut rng);
+        let (pred, probs) = clf.predict(&store, &s);
+        assert!(pred < 3);
+        assert!((probs.sum() - 1.0).abs() < 1e-5);
+        assert_eq!(probs.argmax_row(0), pred);
+    }
+
+    #[test]
+    fn tape_and_tensor_paths_agree() {
+        let (clf, store, cfg) = make();
+        let mut rng = KvecRng::seed_from_u64(3);
+        let s = Tensor::rand_uniform(1, cfg.d_model, -1.0, 1.0, &mut rng);
+        let sess = Session::new();
+        let sv = sess.input(s.clone());
+        let tape_logits = clf.logits(&sess, &store, sv).value();
+        let (_, probs) = clf.predict(&store, &s);
+        assert!(tape_logits.softmax_rows().allclose(&probs, 1e-6));
+    }
+}

@@ -1,0 +1,225 @@
+//! KVRL: the key-value sequence representation learning module
+//! (paper Section IV-B) — input embedding, masked attention stack and the
+//! gated fusion cell.
+
+use crate::embedding::{InputEmbedding, ItemIndices};
+use crate::KvecConfig;
+use kvec_autograd::Var;
+use kvec_nn::{AttentionBlock, AttentionTrace, LayerNorm, LstmCell, ParamId, ParamStore, Session};
+use kvec_tensor::{KvecRng, Tensor};
+
+/// The KVRL encoder: `E_0 -> attention blocks -> E`.
+pub struct KvrlEncoder {
+    /// The four-component input embedding.
+    pub input: InputEmbedding,
+    blocks: Vec<AttentionBlock>,
+    norms: Option<Vec<LayerNorm>>,
+    /// The LSTM-style fusion cell producing `s_k^(t)` from item embeddings.
+    pub fusion: LstmCell,
+}
+
+impl KvrlEncoder {
+    /// Creates the encoder from a config.
+    pub fn new(store: &mut ParamStore, cfg: &KvecConfig, rng: &mut KvecRng) -> Self {
+        let input = InputEmbedding::new(store, cfg, rng);
+        let blocks = (0..cfg.n_blocks)
+            .map(|b| {
+                AttentionBlock::with_heads(
+                    store,
+                    &format!("kvrl.block{b}"),
+                    cfg.d_model,
+                    cfg.d_ff,
+                    cfg.dropout,
+                    cfg.use_residual,
+                    cfg.n_heads,
+                    rng,
+                )
+            })
+            .collect();
+        let norms = cfg.use_layer_norm.then(|| {
+            (0..cfg.n_blocks)
+                .map(|b| LayerNorm::new(store, &format!("kvrl.norm{b}"), cfg.d_model))
+                .collect()
+        });
+        let fusion = LstmCell::new(store, "kvrl.fusion", cfg.d_model, cfg.fusion_hidden, rng);
+        Self {
+            input,
+            blocks,
+            norms,
+            fusion,
+        }
+    }
+
+    /// Runs the embedding + attention stack over a whole tangled prefix,
+    /// producing the refined item embedding matrix `E` (`T x d`) and the
+    /// per-block attention traces.
+    ///
+    /// `rng = Some(..)` enables dropout (training).
+    pub fn encode<'s>(
+        &self,
+        sess: &'s Session,
+        store: &ParamStore,
+        items: &[ItemIndices],
+        mask: &Tensor,
+        mut rng: Option<&mut KvecRng>,
+    ) -> (Var<'s>, Vec<AttentionTrace>) {
+        let mut e = self.input.forward(sess, store, items);
+        let mut traces = Vec::with_capacity(self.blocks.len());
+        for (l, block) in self.blocks.iter().enumerate() {
+            let (next, trace) = block.forward(sess, store, e, mask, rng.as_deref_mut());
+            e = match &self.norms {
+                Some(norms) => norms[l].forward(sess, store, next),
+                None => next,
+            };
+            traces.push(trace);
+        }
+        (e, traces)
+    }
+
+    /// The per-block layer norms, when `use_layer_norm` is enabled.
+    pub fn norms(&self) -> Option<&[LayerNorm]> {
+        self.norms.as_deref()
+    }
+
+    /// The attention blocks (used by the streaming engine's incremental
+    /// path).
+    pub fn blocks(&self) -> &[AttentionBlock] {
+        &self.blocks
+    }
+
+    /// All trainable parameter ids of the encoder (embeddings, blocks,
+    /// fusion).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.input.param_ids();
+        for b in &self.blocks {
+            ids.extend(b.param_ids());
+        }
+        if let Some(norms) = &self.norms {
+            for n in norms {
+                ids.extend(n.param_ids());
+            }
+        }
+        ids.extend(self.fusion.param_ids());
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::build_mask;
+    use kvec_data::{Item, Key, TangledSequence, ValueSchema};
+
+    fn schema() -> ValueSchema {
+        ValueSchema::new(vec!["dir".into(), "size".into()], vec![2, 4], 0)
+    }
+
+    fn sample() -> TangledSequence {
+        let items = vec![
+            Item::new(Key(1), vec![0, 1], 0),
+            Item::new(Key(2), vec![0, 2], 1),
+            Item::new(Key(1), vec![1, 3], 2),
+            Item::new(Key(2), vec![1, 0], 3),
+        ];
+        TangledSequence::new(items, vec![(Key(1), 0), (Key(2), 1)])
+    }
+
+    #[test]
+    fn encode_shapes_and_traces() {
+        let cfg = KvecConfig::tiny(&schema(), 2);
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(1);
+        let enc = KvrlEncoder::new(&mut store, &cfg, &mut rng);
+        let t = sample();
+        let dm = build_mask(&t, 0, true, true);
+        let sess = Session::new();
+        let idx = enc.input.indices_for(&t);
+        let (e, traces) = enc.encode(&sess, &store, &idx, &dm.mask, None);
+        assert_eq!(e.shape(), (4, cfg.d_model));
+        assert_eq!(traces.len(), cfg.n_blocks);
+        assert_eq!(traces[0].weights.shape(), (4, 4));
+    }
+
+    #[test]
+    fn masked_items_do_not_influence_each_other() {
+        // With both correlations off, every item only sees itself; two
+        // items with identical indices must get identical encodings even
+        // at different stream positions (time embeddings off too).
+        let mut cfg = KvecConfig::tiny(&schema(), 2);
+        cfg.use_key_correlation = false;
+        cfg.use_value_correlation = false;
+        cfg.use_time_embeddings = false;
+        cfg.use_membership_embedding = false;
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(2);
+        let enc = KvrlEncoder::new(&mut store, &cfg, &mut rng);
+
+        let items = vec![
+            Item::new(Key(1), vec![0, 1], 0),
+            Item::new(Key(2), vec![0, 1], 1),
+        ];
+        let t = TangledSequence::new(items, vec![(Key(1), 0), (Key(2), 1)]);
+        let dm = build_mask(&t, 0, false, false);
+        let sess = Session::new();
+        let idx = enc.input.indices_for(&t);
+        let (e, _) = enc.encode(&sess, &store, &idx, &dm.mask, None);
+        let v = e.value();
+        assert_eq!(v.row(0), v.row(1));
+    }
+
+    #[test]
+    fn gradients_flow_through_whole_encoder() {
+        let cfg = KvecConfig::tiny(&schema(), 2);
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(3);
+        let enc = KvrlEncoder::new(&mut store, &cfg, &mut rng);
+        let t = sample();
+        let dm = build_mask(&t, 0, true, true);
+        let sess = Session::new();
+        let idx = enc.input.indices_for(&t);
+        let (e, _) = enc.encode(&sess, &store, &idx, &dm.mask, None);
+
+        // Fuse key 1's two items and backprop through fusion + encoder.
+        let mut state = enc.fusion.zero_state(&sess);
+        for &g in &[0usize, 2] {
+            state = enc.fusion.step(&sess, &store, e.row(g), state);
+        }
+        sess.backward(state.h.square().sum_all());
+        sess.accumulate_grads(&mut store);
+        // Embedding tables of used codes and all block params get grads.
+        let grads_present = enc
+            .param_ids()
+            .iter()
+            .filter(|&&id| store.grad(id).frobenius_norm() > 0.0)
+            .count();
+        assert!(
+            grads_present > enc.param_ids().len() / 2,
+            "only {grads_present} of {} params got gradients",
+            enc.param_ids().len()
+        );
+    }
+
+    #[test]
+    fn dropout_changes_training_forward_only() {
+        let mut cfg = KvecConfig::tiny(&schema(), 2);
+        cfg.dropout = 0.5;
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(4);
+        let enc = KvrlEncoder::new(&mut store, &cfg, &mut rng);
+        let t = sample();
+        let dm = build_mask(&t, 0, true, true);
+        let idx = enc.input.indices_for(&t);
+
+        let eval = |_unused: ()| {
+            let sess = Session::new();
+            let (e, _) = enc.encode(&sess, &store, &idx, &dm.mask, None);
+            e.value()
+        };
+        assert!(eval(()).allclose(&eval(()), 1e-6), "eval is deterministic");
+
+        let sess = Session::new();
+        let mut drng = KvecRng::seed_from_u64(5);
+        let (e_train, _) = enc.encode(&sess, &store, &idx, &dm.mask, Some(&mut drng));
+        assert!(!e_train.value().allclose(&eval(()), 1e-6));
+    }
+}

@@ -1,0 +1,330 @@
+//! The dynamic correlation mask `M^(t)` (paper Section IV-B).
+//!
+//! Visibility rules for an arriving item `e_t` (with key `k` and session
+//! code `v` — the value of its session field):
+//!
+//! - **self**: `M_tt = 0` always;
+//! - **key correlation** `e_t ~key~ e_j`: every earlier item of the same
+//!   key `k` is visible;
+//! - **value correlation** `e_t ~value~ e_j`: every item in the *trailing
+//!   session* of another key `k'` is visible when that trailing session's
+//!   code equals `v` — i.e. appending `e_t` to `S_{k'}` would continue that
+//!   session (this operationalizes the paper's "if we change `e_t.k` to
+//!   `e_3.k`, then they belong to a same session" example);
+//! - everything else is `-inf` (invisible), and causality (`j <= t`) holds
+//!   by construction.
+//!
+//! The builder is incremental: rows are fixed at arrival time and never
+//! change afterwards, matching how `M^(t)` grows in the paper and enabling
+//! the streaming inference engine to cache per-layer attention outputs.
+
+use kvec_data::{Key, TangledSequence};
+use kvec_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Classification of one (query item, earlier item) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Invisible (masked out).
+    None,
+    /// The diagonal.
+    SelfEdge,
+    /// Same key — *internal* attention in the paper's Fig. 10 terms.
+    Key,
+    /// Cross-sequence session match — *external* attention.
+    Value,
+}
+
+/// The visible set of one arriving item, split by correlation type.
+#[derive(Debug, Clone, Default)]
+pub struct RowEdges {
+    /// Indices of earlier same-key items.
+    pub key_edges: Vec<usize>,
+    /// Indices of earlier cross-key session-matched items.
+    pub value_edges: Vec<usize>,
+}
+
+struct KeyState {
+    items: Vec<usize>,
+    trailing_code: u32,
+    trailing_items: Vec<usize>,
+}
+
+/// Incremental builder of the dynamic mask.
+pub struct MaskBuilder {
+    use_key: bool,
+    use_value: bool,
+    keys: BTreeMap<Key, KeyState>,
+    rows: Vec<RowEdges>,
+}
+
+impl MaskBuilder {
+    /// Creates a builder; the flags implement the paper's Fig. 9 ablations.
+    pub fn new(use_key: bool, use_value: bool) -> Self {
+        Self {
+            use_key,
+            use_value,
+            keys: BTreeMap::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of items pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True before any item arrives.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Registers the arrival of an item, returning its visible set.
+    pub fn push(&mut self, key: Key, session_code: u32) -> RowEdges {
+        let t = self.rows.len();
+        let mut edges = RowEdges::default();
+
+        if self.use_key {
+            if let Some(state) = self.keys.get(&key) {
+                edges.key_edges.extend_from_slice(&state.items);
+            }
+        }
+        if self.use_value {
+            for (other_key, state) in &self.keys {
+                if *other_key == key {
+                    continue;
+                }
+                if !state.trailing_items.is_empty() && state.trailing_code == session_code {
+                    edges.value_edges.extend_from_slice(&state.trailing_items);
+                }
+            }
+            edges.value_edges.sort_unstable();
+        }
+
+        // Update this key's state.
+        let state = self.keys.entry(key).or_insert_with(|| KeyState {
+            items: Vec::new(),
+            trailing_code: session_code,
+            trailing_items: Vec::new(),
+        });
+        if state.trailing_items.is_empty() || state.trailing_code == session_code {
+            state.trailing_code = session_code;
+            state.trailing_items.push(t);
+        } else {
+            state.trailing_code = session_code;
+            state.trailing_items.clear();
+            state.trailing_items.push(t);
+        }
+        state.items.push(t);
+
+        self.rows.push(edges.clone());
+        edges
+    }
+
+    /// Materializes the `T x T` additive mask (0 visible, `-inf` hidden).
+    pub fn build_mask(&self) -> Tensor {
+        let t = self.rows.len();
+        let mut m = Tensor::full(t, t, f32::NEG_INFINITY);
+        for (i, row) in self.rows.iter().enumerate() {
+            m[(i, i)] = 0.0;
+            for &j in row.key_edges.iter().chain(&row.value_edges) {
+                m[(i, j)] = 0.0;
+            }
+        }
+        m
+    }
+
+    /// Materializes the edge-kind matrix (row-major `T*T`). When a pair is
+    /// both key- and value-correlated, `Key` wins: it is intra-sequence and
+    /// therefore *internal* attention.
+    pub fn edge_kinds(&self) -> Vec<EdgeKind> {
+        let t = self.rows.len();
+        let mut kinds = vec![EdgeKind::None; t * t];
+        for (i, row) in self.rows.iter().enumerate() {
+            kinds[i * t + i] = EdgeKind::SelfEdge;
+            for &j in &row.value_edges {
+                kinds[i * t + j] = EdgeKind::Value;
+            }
+            for &j in &row.key_edges {
+                kinds[i * t + j] = EdgeKind::Key;
+            }
+        }
+        kinds
+    }
+}
+
+/// A fully built mask with its edge classification.
+pub struct DynamicMask {
+    /// Additive `T x T` mask.
+    pub mask: Tensor,
+    /// Row-major edge kinds.
+    pub kinds: Vec<EdgeKind>,
+}
+
+impl DynamicMask {
+    /// Splits one row's attention weights into (internal, external) mass:
+    /// internal = self + key-correlated, external = value-correlated (the
+    /// paper's Fig. 10 quantities).
+    pub fn split_attention_row(&self, weights: &Tensor, row: usize) -> (f32, f32) {
+        let t = weights.cols();
+        let mut internal = 0.0;
+        let mut external = 0.0;
+        for (j, &w) in weights.row(row).iter().enumerate() {
+            match self.kinds[row * t + j] {
+                EdgeKind::SelfEdge | EdgeKind::Key => internal += w,
+                EdgeKind::Value => external += w,
+                EdgeKind::None => {}
+            }
+        }
+        (internal, external)
+    }
+}
+
+/// Builds the mask for a whole tangled sequence at once (training path).
+/// `session_field` selects the value dimension defining sessions.
+pub fn build_mask(
+    tangled: &TangledSequence,
+    session_field: usize,
+    use_key: bool,
+    use_value: bool,
+) -> DynamicMask {
+    let mut builder = MaskBuilder::new(use_key, use_value);
+    for item in &tangled.items {
+        builder.push(item.key, item.value[session_field]);
+    }
+    DynamicMask {
+        mask: builder.build_mask(),
+        kinds: builder.edge_kinds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvec_data::Item;
+
+    /// Stream: key A: dir 0, key A: dir 0, key B: dir 0, key B: dir 1,
+    /// key A: dir 1.
+    fn sample() -> TangledSequence {
+        let items = vec![
+            Item::new(Key(1), vec![0], 0),
+            Item::new(Key(1), vec![0], 1),
+            Item::new(Key(2), vec![0], 2),
+            Item::new(Key(2), vec![1], 3),
+            Item::new(Key(1), vec![1], 4),
+        ];
+        TangledSequence::new(items, vec![(Key(1), 0), (Key(2), 1)])
+    }
+
+    #[test]
+    fn key_correlation_links_same_key_history() {
+        let dm = build_mask(&sample(), 0, true, false);
+        // Item 4 (key A) sees items 0, 1 (key A) and itself; never key B.
+        assert_eq!(dm.mask[(4, 0)], 0.0);
+        assert_eq!(dm.mask[(4, 1)], 0.0);
+        assert_eq!(dm.mask[(4, 4)], 0.0);
+        assert_eq!(dm.mask[(4, 2)], f32::NEG_INFINITY);
+        assert_eq!(dm.mask[(4, 3)], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn value_correlation_links_matching_trailing_sessions() {
+        let dm = build_mask(&sample(), 0, false, true);
+        // Item 2 (key B, dir 0) arrives while key A's trailing session is
+        // {0, 1} with code 0 -> value edges to 0 and 1.
+        assert_eq!(dm.mask[(2, 0)], 0.0);
+        assert_eq!(dm.mask[(2, 1)], 0.0);
+        // Item 3 (key B, dir 1): key A's trailing session still has code 0
+        // -> no value edges.
+        assert_eq!(dm.mask[(3, 0)], f32::NEG_INFINITY);
+        assert_eq!(dm.mask[(3, 1)], f32::NEG_INFINITY);
+        assert_eq!(dm.mask[(3, 3)], 0.0, "self always visible");
+        // Item 4 (key A, dir 1): key B's trailing session is {3} with code
+        // 1 -> value edge to 3.
+        assert_eq!(dm.mask[(4, 3)], 0.0);
+        assert_eq!(dm.mask[(4, 2)], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn causality_upper_triangle_is_masked() {
+        let dm = build_mask(&sample(), 0, true, true);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_eq!(dm.mask[(i, j)], f32::NEG_INFINITY, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_kinds_prioritize_key_over_value() {
+        let dm = build_mask(&sample(), 0, true, true);
+        let t = 5;
+        // Item 1 (key A, dir 0): item 0 is both same-key and in a matching
+        // trailing session of... no other key exists; it's key-correlated.
+        assert_eq!(dm.kinds[t + 0], EdgeKind::Key);
+        assert_eq!(dm.kinds[2 * t + 0], EdgeKind::Value, "cross-key edge");
+        assert_eq!(dm.kinds[0], EdgeKind::SelfEdge);
+    }
+
+    #[test]
+    fn disabled_correlations_leave_only_diagonal() {
+        let dm = build_mask(&sample(), 0, false, false);
+        for i in 0..5 {
+            for j in 0..5 {
+                let expected = if i == j { 0.0 } else { f32::NEG_INFINITY };
+                assert_eq!(dm.mask[(i, j)], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_session_resets_on_code_change() {
+        // Key A: 0 0 1; then key B: 0 -> B must NOT see A's old session
+        // {0,1} (code 0 is no longer trailing), nor item 2 (code 1).
+        let items = vec![
+            Item::new(Key(1), vec![0], 0),
+            Item::new(Key(1), vec![0], 1),
+            Item::new(Key(1), vec![1], 2),
+            Item::new(Key(2), vec![0], 3),
+        ];
+        let t = TangledSequence::new(items, vec![(Key(1), 0), (Key(2), 1)]);
+        let dm = build_mask(&t, 0, false, true);
+        assert_eq!(dm.mask[(3, 0)], f32::NEG_INFINITY);
+        assert_eq!(dm.mask[(3, 1)], f32::NEG_INFINITY);
+        assert_eq!(dm.mask[(3, 2)], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn push_returns_the_same_edges_as_build() {
+        let tangled = sample();
+        let mut builder = MaskBuilder::new(true, true);
+        let mut rows = Vec::new();
+        for item in &tangled.items {
+            rows.push(builder.push(item.key, item.value[0]));
+        }
+        let mask = builder.build_mask();
+        for (i, row) in rows.iter().enumerate() {
+            for &j in row.key_edges.iter().chain(&row.value_edges) {
+                assert_eq!(mask[(i, j)], 0.0);
+            }
+            let visible = (0..=i)
+                .filter(|&j| mask[(i, j)] == 0.0 && j != i)
+                .count();
+            assert_eq!(visible, row.key_edges.len() + row.value_edges.len());
+        }
+    }
+
+    #[test]
+    fn split_attention_row_partitions_mass() {
+        let dm = build_mask(&sample(), 0, true, true);
+        // Fake uniform attention over visible items of row 2 (self + two
+        // value edges).
+        let mut w = Tensor::zeros(5, 5);
+        w[(2, 0)] = 0.25;
+        w[(2, 1)] = 0.25;
+        w[(2, 2)] = 0.5;
+        let (internal, external) = dm.split_attention_row(&w, 2);
+        assert!((internal - 0.5).abs() < 1e-6);
+        assert!((external - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,212 @@
+//! Extended classification metrics: confusion matrices and per-class
+//! reports, complementing the aggregate numbers in [`crate::eval`].
+
+use std::fmt;
+
+/// A `C x C` confusion matrix; rows are ground-truth labels, columns are
+/// predictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    num_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from `(label, pred)` pairs.
+    pub fn from_pairs(pairs: &[(usize, usize)], num_classes: usize) -> Self {
+        let mut counts = vec![0usize; num_classes * num_classes];
+        for &(label, pred) in pairs {
+            assert!(label < num_classes, "label {label} out of range");
+            assert!(pred < num_classes, "pred {pred} out of range");
+            counts[label * num_classes + pred] += 1;
+        }
+        Self {
+            counts,
+            num_classes,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Count of sequences with ground truth `label` predicted as `pred`.
+    pub fn get(&self, label: usize, pred: usize) -> usize {
+        self.counts[label * self.num_classes + pred]
+    }
+
+    /// Total number of sequences.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace over total).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let trace: usize = (0..self.num_classes).map(|c| self.get(c, c)).sum();
+        trace as f32 / total as f32
+    }
+
+    /// Number of ground-truth sequences of `label`.
+    pub fn support(&self, label: usize) -> usize {
+        (0..self.num_classes).map(|p| self.get(label, p)).sum()
+    }
+
+    /// Per-class `(precision, recall, f1, support)` rows.
+    pub fn per_class(&self) -> Vec<ClassReport> {
+        (0..self.num_classes)
+            .map(|c| {
+                let tp = self.get(c, c);
+                let support = self.support(c);
+                let predicted: usize = (0..self.num_classes).map(|l| self.get(l, c)).sum();
+                let precision = if predicted == 0 {
+                    0.0
+                } else {
+                    tp as f32 / predicted as f32
+                };
+                let recall = if support == 0 {
+                    0.0
+                } else {
+                    tp as f32 / support as f32
+                };
+                let f1 = if precision + recall == 0.0 {
+                    0.0
+                } else {
+                    2.0 * precision * recall / (precision + recall)
+                };
+                ClassReport {
+                    class: c,
+                    precision,
+                    recall,
+                    f1,
+                    support,
+                }
+            })
+            .collect()
+    }
+
+    /// The most confused off-diagonal pair `(label, pred, count)`, if any
+    /// misclassification occurred.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for l in 0..self.num_classes {
+            for p in 0..self.num_classes {
+                if l == p {
+                    continue;
+                }
+                let n = self.get(l, p);
+                if n > 0 && best.map_or(true, |(_, _, b)| n > b) {
+                    best = Some((l, p, n));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "truth\\pred")?;
+        for p in 0..self.num_classes {
+            write!(f, " {p:>5}")?;
+        }
+        writeln!(f)?;
+        for l in 0..self.num_classes {
+            write!(f, "{l:>10}")?;
+            for p in 0..self.num_classes {
+                write!(f, " {:>5}", self.get(l, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// One class's precision/recall/F1 with its support.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassReport {
+    /// Class index.
+    pub class: usize,
+    /// Precision for this class.
+    pub precision: f32,
+    /// Recall for this class.
+    pub recall: f32,
+    /// F1 for this class.
+    pub f1: f32,
+    /// Number of ground-truth sequences of this class.
+    pub support: usize,
+}
+
+impl crate::eval::EvalReport {
+    /// Builds the confusion matrix of this report's outcomes.
+    pub fn confusion_matrix(&self, num_classes: usize) -> ConfusionMatrix {
+        let pairs: Vec<(usize, usize)> =
+            self.outcomes.iter().map(|o| (o.label, o.pred)).collect();
+        ConfusionMatrix::from_pairs(&pairs, num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // truth 0: 3 correct, 1 as class 1; truth 1: 2 correct; truth 2: 1
+        // as class 0.
+        ConfusionMatrix::from_pairs(
+            &[(0, 0), (0, 0), (0, 0), (0, 1), (1, 1), (1, 1), (2, 0)],
+            3,
+        )
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 3);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(2, 0), 1);
+        assert_eq!(m.total(), 7);
+        assert!((m.accuracy() - 5.0 / 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_class_reports() {
+        let m = sample();
+        let rows = m.per_class();
+        // Class 0: tp 3, predicted 4, support 4 -> p 0.75, r 0.75.
+        assert!((rows[0].precision - 0.75).abs() < 1e-6);
+        assert!((rows[0].recall - 0.75).abs() < 1e-6);
+        assert_eq!(rows[0].support, 4);
+        // Class 2: no correct predictions.
+        assert_eq!(rows[2].f1, 0.0);
+        assert_eq!(rows[2].support, 1);
+    }
+
+    #[test]
+    fn worst_confusion_found() {
+        let m = sample();
+        let (l, p, n) = m.worst_confusion().unwrap();
+        assert!(n == 1 && l != p);
+        let perfect = ConfusionMatrix::from_pairs(&[(0, 0), (1, 1)], 2);
+        assert!(perfect.worst_confusion().is_none());
+    }
+
+    #[test]
+    fn display_renders_all_cells() {
+        let m = ConfusionMatrix::from_pairs(&[(0, 1)], 2);
+        let s = m.to_string();
+        assert!(s.contains("truth\\pred"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = ConfusionMatrix::from_pairs(&[], 2);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Online inference over a live tangled stream.
+//!
+//! [`StreamingEngine`] consumes items one at a time — the deployment mode
+//! the paper motivates (a router classifying flows as packets arrive). It
+//! exploits the causality of the dynamic mask: an item's representation at
+//! every layer is fixed at arrival time, so the engine caches per-layer
+//! keys/values and computes only the *new row* of each attention block per
+//! arrival (`O(L * visible * d)` instead of re-encoding the prefix).
+//!
+//! The whole path is tape-free (plain tensors): no autodiff overhead at
+//! inference. Equivalence with the teacher-forced training forward is
+//! enforced by tests and by the `streaming_matches_batch` integration
+//! test.
+
+use crate::ectl::{Action, Ectl};
+use crate::mask::MaskBuilder;
+use crate::model::KvecModel;
+use kvec_data::{Item, Key, TangledSequence};
+use kvec_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// The classification decision emitted when a sequence halts.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// The halted sequence's key.
+    pub key: Key,
+    /// Predicted class.
+    pub pred: usize,
+    /// Class probabilities.
+    pub probs: Vec<f32>,
+    /// Number of items observed before halting (`n_k`).
+    pub n_items: usize,
+    /// Global stream position of the halting item.
+    pub global_pos: usize,
+    /// Whether the policy halted (vs. the caller forcing classification
+    /// via [`StreamingEngine::finish`]).
+    pub halted_by_policy: bool,
+}
+
+struct KeySeqState {
+    h: Tensor,
+    c: Tensor,
+    n_items: usize,
+    halted: bool,
+}
+
+/// Incremental inference engine over one tangled stream.
+pub struct StreamingEngine<'m> {
+    model: &'m KvecModel,
+    masks: MaskBuilder,
+    /// Cached key/value projections per block.
+    layer_keys: Vec<Tensor>,
+    layer_values: Vec<Tensor>,
+    keys_state: BTreeMap<Key, KeySeqState>,
+    t: usize,
+}
+
+impl<'m> StreamingEngine<'m> {
+    /// Creates an engine bound to a trained model.
+    pub fn new(model: &'m KvecModel) -> Self {
+        let n_blocks = model.encoder.blocks().len();
+        Self {
+            model,
+            masks: MaskBuilder::new(
+                model.cfg.use_key_correlation,
+                model.cfg.use_value_correlation,
+            ),
+            layer_keys: vec![Tensor::zeros(0, 0); n_blocks],
+            layer_values: vec![Tensor::zeros(0, 0); n_blocks],
+            keys_state: BTreeMap::new(),
+            t: 0,
+        }
+    }
+
+    /// Number of items consumed so far.
+    pub fn items_seen(&self) -> usize {
+        self.t
+    }
+
+    /// Number of sequences already halted.
+    pub fn halted_count(&self) -> usize {
+        self.keys_state.values().filter(|s| s.halted).count()
+    }
+
+    /// Feeds one arriving item. Returns a [`Decision`] when this item makes
+    /// its sequence halt; items of already-halted sequences still enter the
+    /// attention caches (they remain visible context for other sequences)
+    /// but produce no further decisions.
+    pub fn feed(&mut self, item: &Item) -> Option<Decision> {
+        let model = self.model;
+        let store = &model.store;
+        let session_code = item.value[model.cfg.session_field];
+        let edges = self.masks.push(item.key, session_code);
+        let global_pos = self.t;
+        self.t += 1;
+
+        let mut visible: Vec<usize> =
+            Vec::with_capacity(edges.key_edges.len() + edges.value_edges.len() + 1);
+        visible.extend_from_slice(&edges.key_edges);
+        visible.extend_from_slice(&edges.value_edges);
+        visible.push(global_pos);
+        visible.sort_unstable();
+
+        // Per-key bookkeeping (position within the key's sequence).
+        let pos_in_key = edges.key_edges.len();
+        // NOTE: with key correlation ablated, key_edges is empty and the
+        // relative position must be tracked separately.
+        let pos_in_key = if model.cfg.use_key_correlation {
+            pos_in_key
+        } else {
+            self.keys_state.get(&item.key).map_or(0, |s| s.n_items_total())
+        };
+
+        // Embed and run the new row through the block stack.
+        let idx =
+            model
+                .encoder
+                .input
+                .indices_for_item(item.key, &item.value, pos_in_key, global_pos);
+        let mut x = model.encoder.input.lookup_one(store, &idx);
+        for (l, block) in model.encoder.blocks().iter().enumerate() {
+            let k = block.project_k(store, &x);
+            let v = block.project_v(store, &x);
+            self.layer_keys[l].push_row(k.data());
+            self.layer_values[l].push_row(v.data());
+            let q = block.project_q(store, &x);
+            let (attended, _weights) =
+                block.attend_row(&q, &self.layer_keys[l], &self.layer_values[l], &visible);
+            x = block.finish_row(store, &attended, &x);
+            if let Some(norms) = model.encoder.norms() {
+                x = norms[l].apply(store, &x);
+            }
+        }
+
+        // Fusion + halting for this key (skipped once halted).
+        let d = model.cfg.fusion_hidden;
+        let state = self.keys_state.entry(item.key).or_insert_with(|| KeySeqState {
+            h: Tensor::zeros(1, d),
+            c: Tensor::zeros(1, d),
+            n_items: 0,
+            halted: false,
+        });
+        state.n_items += 1;
+        if state.halted {
+            return None;
+        }
+        let (h, c) = model
+            .encoder
+            .fusion
+            .step_tensors(store, &x, &state.h, &state.c);
+        state.h = h;
+        state.c = c;
+
+        let p_halt = model.ectl.halt_probability(store, &state.h);
+        if Ectl::threshold_action(p_halt, model.cfg.halt_threshold) == Action::Halt {
+            state.halted = true;
+            let (pred, probs) = model.classifier.predict(store, &state.h);
+            return Some(Decision {
+                key: item.key,
+                pred,
+                probs: probs.into_vec(),
+                n_items: state.n_items,
+                global_pos,
+                halted_by_policy: true,
+            });
+        }
+        None
+    }
+
+    /// Forces a classification for every still-active sequence (stream
+    /// end). Returns their decisions in key order.
+    pub fn finish(&mut self) -> Vec<Decision> {
+        let model = self.model;
+        let mut decisions = Vec::new();
+        for (&key, state) in self.keys_state.iter_mut() {
+            if state.halted || state.n_items == 0 {
+                continue;
+            }
+            state.halted = true;
+            let (pred, probs) = model.classifier.predict(&model.store, &state.h);
+            decisions.push(Decision {
+                key,
+                pred,
+                probs: probs.into_vec(),
+                n_items: state.n_items,
+                global_pos: self.t.saturating_sub(1),
+                halted_by_policy: false,
+            });
+        }
+        decisions
+    }
+
+    /// Replays a whole tangled sequence, returning every decision
+    /// (policy-halted first, then forced ones at stream end).
+    pub fn run(model: &'m KvecModel, tangled: &TangledSequence) -> Vec<Decision> {
+        let mut engine = StreamingEngine::new(model);
+        let mut decisions = Vec::new();
+        for item in &tangled.items {
+            if let Some(d) = engine.feed(item) {
+                decisions.push(d);
+            }
+        }
+        decisions.extend(engine.finish());
+        decisions
+    }
+}
+
+impl KeySeqState {
+    fn n_items_total(&self) -> usize {
+        self.n_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_scenario;
+    use crate::KvecConfig;
+    use kvec_data::synth::{generate_traffic, TrafficConfig};
+    use kvec_data::{mixer, ValueSchema};
+    use kvec_tensor::KvecRng;
+
+    fn setup(seed: u64) -> (KvecModel, TangledSequence) {
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let dcfg = TrafficConfig {
+            num_flows: 6,
+            num_classes: 2,
+            mean_len: 12,
+            min_len: 10,
+            max_len: 16,
+            ..TrafficConfig::traffic_app(0)
+        };
+        let pool = generate_traffic(&dcfg, &mut rng);
+        let tangled = mixer::tangle_group(&pool, &mut rng);
+        let cfg = KvecConfig::tiny(&dcfg.schema(), 2);
+        let model = KvecModel::new(&cfg, &mut rng);
+        (model, tangled)
+    }
+
+    #[test]
+    fn every_key_gets_exactly_one_decision() {
+        let (model, tangled) = setup(1);
+        let decisions = StreamingEngine::run(&model, &tangled);
+        assert_eq!(decisions.len(), tangled.num_keys());
+        let mut keys: Vec<_> = decisions.iter().map(|d| d.key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), tangled.num_keys());
+        for d in &decisions {
+            assert!((d.probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            assert!(d.n_items >= 1);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_teacher_forced_evaluation() {
+        // The engine's incremental attention must reproduce the batch
+        // forward exactly: same halting points, same predictions.
+        let (model, tangled) = setup(2);
+        let batch = evaluate_scenario(&model, &tangled);
+        let streaming = StreamingEngine::run(&model, &tangled);
+
+        let stream_map: std::collections::BTreeMap<_, _> =
+            streaming.iter().map(|d| (d.key, d)).collect();
+        for outcome in &batch {
+            let d = stream_map[&outcome.key];
+            assert_eq!(d.pred, outcome.pred, "prediction for {:?}", outcome.key);
+            assert_eq!(d.n_items, outcome.n_k, "halt point for {:?}", outcome.key);
+        }
+    }
+
+    #[test]
+    fn engine_counts_and_finish_are_idempotent() {
+        let (model, tangled) = setup(3);
+        let mut engine = StreamingEngine::new(&model);
+        for item in &tangled.items {
+            let _ = engine.feed(item);
+        }
+        assert_eq!(engine.items_seen(), tangled.len());
+        let first = engine.finish();
+        let second = engine.finish();
+        assert!(second.is_empty(), "finish must not re-emit decisions");
+        assert_eq!(engine.halted_count(), tangled.num_keys());
+        let _ = first;
+    }
+
+    #[test]
+    fn multi_head_layer_norm_streaming_matches_batch() {
+        let mut rng = KvecRng::seed_from_u64(5);
+        let dcfg = TrafficConfig {
+            num_flows: 6,
+            num_classes: 2,
+            mean_len: 12,
+            min_len: 10,
+            max_len: 14,
+            ..TrafficConfig::traffic_app(0)
+        };
+        let pool = generate_traffic(&dcfg, &mut rng);
+        let tangled = mixer::tangle_group(&pool, &mut rng);
+        let mut cfg = KvecConfig::tiny(&dcfg.schema(), 2);
+        cfg.n_heads = 4;
+        cfg.use_layer_norm = true;
+        let model = KvecModel::new(&cfg, &mut rng);
+
+        let batch = evaluate_scenario(&model, &tangled);
+        let streaming = StreamingEngine::run(&model, &tangled);
+        let stream_map: std::collections::BTreeMap<_, _> =
+            streaming.iter().map(|d| (d.key, d)).collect();
+        for outcome in &batch {
+            assert_eq!(stream_map[&outcome.key].pred, outcome.pred);
+            assert_eq!(stream_map[&outcome.key].n_items, outcome.n_k);
+        }
+    }
+
+    #[test]
+    fn works_with_ablated_correlations() {
+        let mut rng = KvecRng::seed_from_u64(4);
+        let dcfg = TrafficConfig {
+            num_flows: 4,
+            num_classes: 2,
+            mean_len: 10,
+            min_len: 10,
+            max_len: 12,
+            ..TrafficConfig::traffic_app(0)
+        };
+        let pool = generate_traffic(&dcfg, &mut rng);
+        let tangled = mixer::tangle_group(&pool, &mut rng);
+        let schema: ValueSchema = dcfg.schema();
+        let mut cfg = KvecConfig::tiny(&schema, 2);
+        cfg.use_key_correlation = false;
+        cfg.use_value_correlation = false;
+        let model = KvecModel::new(&cfg, &mut rng);
+
+        let batch = evaluate_scenario(&model, &tangled);
+        let streaming = StreamingEngine::run(&model, &tangled);
+        let stream_map: std::collections::BTreeMap<_, _> =
+            streaming.iter().map(|d| (d.key, d)).collect();
+        for outcome in &batch {
+            assert_eq!(stream_map[&outcome.key].pred, outcome.pred);
+            assert_eq!(stream_map[&outcome.key].n_items, outcome.n_k);
+        }
+    }
+}

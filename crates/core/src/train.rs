@@ -1,0 +1,393 @@
+//! Joint training of KVRL + ECTL + classifier — the paper's Algorithm 1.
+//!
+//! Per tangled sequence:
+//!
+//! 1. the stream is encoded once (teacher-forced; valid because the dynamic
+//!    mask is causal);
+//! 2. for every key, fusion/policy steps are simulated item by item,
+//!    sampling Halt/Wait from the policy; the first *Halt* fixes the number
+//!    of observations `n_k` (a sequence that never halts is classified at
+//!    its last item, the final action counting as Halt);
+//! 3. the classifier labels `s_k^(n_k)`; the prediction's correctness sets
+//!    the per-step reward `r = +/-1`;
+//! 4. the losses are assembled —
+//!    `l1` cross-entropy, `l2` REINFORCE-with-baseline surrogate with
+//!    return `R_k^(i) = sum_{s>i} r = (n_k - i) r`, `l3` lateness penalty
+//!    `-sum_i log P(Halt | s_i)`, plus `MSE(b, R)` for the baseline —
+//!    and one reverse sweep feeds two Adam optimizers (model vs baseline,
+//!    their own learning rates, Algorithm 1 lines 18-19).
+//!
+//! Deviation noted for reviewers: losses are averaged over the keys of a
+//! scenario (the paper sums) so the learning rate is insensitive to the
+//! number of concurrent sequences `K`.
+
+use crate::ectl::{Action, Ectl};
+use crate::model::KvecModel;
+use crate::KvecConfig;
+use kvec_autograd::Var;
+use kvec_data::TangledSequence;
+use kvec_nn::loss::{cross_entropy_logits, log_one_minus_sigmoid, log_sigmoid, squared_error};
+use kvec_nn::{clip_global_norm, Adam, Optimizer, ParamId, Session};
+use kvec_tensor::{sigmoid_scalar, KvecRng};
+
+/// Diagnostics of one training step (one tangled scenario).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepStats {
+    /// Mean cross-entropy over the scenario's keys.
+    pub loss_ce: f32,
+    /// Mean REINFORCE surrogate.
+    pub loss_policy: f32,
+    /// Mean lateness penalty.
+    pub loss_halt: f32,
+    /// Mean baseline regression error.
+    pub loss_baseline: f32,
+    /// Training accuracy over the scenario's keys.
+    pub accuracy: f32,
+    /// Mean halting fraction `n_k / |S_k|`.
+    pub earliness: f32,
+    /// Number of keys trained on.
+    pub num_keys: usize,
+}
+
+/// Aggregated diagnostics over an epoch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochStats {
+    /// Key-weighted mean of the total loss.
+    pub loss: f32,
+    /// Key-weighted training accuracy.
+    pub accuracy: f32,
+    /// Key-weighted mean earliness.
+    pub earliness: f32,
+    /// Keys seen this epoch.
+    pub num_keys: usize,
+}
+
+/// The Algorithm-1 trainer: two Adam optimizers over disjoint parameter
+/// groups.
+pub struct Trainer {
+    opt_model: Adam,
+    opt_baseline: Adam,
+    model_ids: Vec<ParamId>,
+    baseline_ids: Vec<ParamId>,
+    alpha: f32,
+    beta: f32,
+    grad_clip: f32,
+    warmup_epochs: usize,
+    epochs_done: usize,
+}
+
+impl Trainer {
+    /// Creates the trainer for a freshly built model.
+    pub fn new(cfg: &KvecConfig, model: &KvecModel) -> Self {
+        let model_ids = model.model_param_ids();
+        let baseline_ids = model.baseline_param_ids();
+        Self {
+            opt_model: Adam::new(&model.store, model_ids.clone(), cfg.lr),
+            opt_baseline: Adam::new(&model.store, baseline_ids.clone(), cfg.lr_baseline),
+            model_ids,
+            baseline_ids,
+            alpha: cfg.alpha,
+            beta: cfg.beta,
+            grad_clip: cfg.grad_clip,
+            warmup_epochs: cfg.policy_warmup_epochs,
+            epochs_done: 0,
+        }
+    }
+
+    /// Whether the trainer is still in the representation warmup phase
+    /// (classifier supervised at random positions, policy losses off).
+    pub fn in_warmup(&self) -> bool {
+        self.epochs_done < self.warmup_epochs
+    }
+
+    /// Runs one optimization step on one tangled scenario.
+    pub fn train_scenario(
+        &mut self,
+        model: &mut KvecModel,
+        scenario: &TangledSequence,
+        rng: &mut KvecRng,
+    ) -> StepStats {
+        assert!(!scenario.is_empty(), "empty scenario");
+        let sess = Session::new();
+        let fwd = model.encode_stream(&sess, scenario, Some(rng));
+        let label_map = scenario.label_map();
+
+        let mut l1: Option<Var<'_>> = None;
+        let mut l2: Option<Var<'_>> = None;
+        let mut l3: Option<Var<'_>> = None;
+        let mut lb: Option<Var<'_>> = None;
+        let mut correct = 0usize;
+        let mut halt_fraction_sum = 0.0f32;
+        let subsequences = scenario.key_subsequences();
+        let num_keys = subsequences.len();
+
+        let warmup = self.in_warmup();
+        for (key, item_rows) in &subsequences {
+            let label = label_map[key];
+            // --- generate the episode ---
+            // During warmup the halting position is drawn uniformly (the
+            // policy is neither consulted nor trained) so the classifier
+            // and the baseline learn at every prefix length first.
+            let forced_n = warmup.then(|| rng.range(1, item_rows.len() + 1));
+            // Fusion states are computed for the whole sequence (teacher
+            // forcing) so the classifier can be supervised at arbitrary
+            // positions; the episode's halting point only governs the
+            // policy losses.
+            let mut state = model.encoder.fusion.zero_state(&sess);
+            let mut states = Vec::with_capacity(item_rows.len());
+            let mut logits_z = Vec::with_capacity(item_rows.len());
+            let mut n_k = forced_n.unwrap_or(item_rows.len());
+            let mut halted_by_policy = false;
+            let mut sampling = !warmup;
+            for (i, &g) in item_rows.iter().enumerate() {
+                state = model
+                    .encoder
+                    .fusion
+                    .step(&sess, &model.store, fwd.e.row(g), state);
+                states.push(state.h);
+                if !sampling {
+                    continue;
+                }
+                // The policy reads a detached state: the halting losses
+                // train the policy head only, never reshaping the shared
+                // representation (which the classification loss owns). At
+                // this reproduction's scale, coupled gradients let the
+                // REINFORCE variance erode the encoder.
+                let z = model.ectl.policy_logit(&sess, &model.store, state.h.detach());
+                logits_z.push(z);
+                let p_halt = sigmoid_scalar(z.value().item());
+                if Ectl::sample_action(p_halt, rng) == Action::Halt {
+                    n_k = i + 1;
+                    halted_by_policy = true;
+                    sampling = false;
+                }
+            }
+            halt_fraction_sum += n_k as f32 / item_rows.len() as f32;
+
+            // --- classify at the halting position ---
+            let class_logits = model
+                .classifier
+                .logits(&sess, &model.store, states[n_k - 1]);
+            let pred = class_logits.value().argmax_row(0);
+            let reward = if pred == label {
+                correct += 1;
+                1.0f32
+            } else {
+                -1.0f32
+            };
+
+            // --- losses ---
+            // CE at the halting position plus CE at one random position:
+            // the classifier must stay calibrated across prefix lengths,
+            // both for the reward signal and for deployment-time halting
+            // anywhere in the sequence.
+            let ce = cross_entropy_logits(class_logits, label);
+            l1 = Some(accumulate(l1, ce.scale(0.5)));
+            let extra = rng.below(item_rows.len());
+            let extra_logits = model
+                .classifier
+                .logits(&sess, &model.store, states[extra]);
+            let extra_ce = cross_entropy_logits(extra_logits, label);
+            l1 = Some(accumulate(l1, extra_ce.scale(0.5)));
+
+            for i in 1..=n_k {
+                let s = states[i - 1];
+                let ret = (n_k - i) as f32 * reward;
+                let b_var = model.ectl.baseline(&sess, &model.store, s.detach());
+                if warmup {
+                    // Keep the baseline calibrated; no policy losses yet.
+                    lb = Some(accumulate(lb, squared_error(b_var, ret)));
+                    continue;
+                }
+                let z = logits_z[i - 1];
+                let advantage = ret - b_var.value().item();
+                // The surrogate covers *sampled* actions only: Wait for
+                // i < n_k, Halt at i == n_k when the policy chose it. A
+                // halt forced by the end of the sequence was never sampled,
+                // so it contributes no policy-gradient term.
+                let log_p = if i == n_k {
+                    if halted_by_policy {
+                        Some(log_sigmoid(z))
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(log_one_minus_sigmoid(z))
+                };
+                if let Some(log_p) = log_p {
+                    l2 = Some(accumulate(l2, log_p.scale(-advantage)));
+                }
+                l3 = Some(accumulate(l3, log_sigmoid(z).neg()));
+                lb = Some(accumulate(lb, squared_error(b_var, ret)));
+            }
+        }
+
+        let inv_k = 1.0 / num_keys as f32;
+        let zero = || sess.scalar(0.0);
+        let l1 = l1.expect("at least one key").scale(inv_k);
+        let l2 = l2.unwrap_or_else(zero).scale(inv_k);
+        let l3 = l3.unwrap_or_else(zero).scale(inv_k);
+        let lb = lb.unwrap_or_else(zero).scale(inv_k);
+        let stats = StepStats {
+            loss_ce: l1.value().item(),
+            loss_policy: l2.value().item(),
+            loss_halt: l3.value().item(),
+            loss_baseline: lb.value().item(),
+            accuracy: correct as f32 / num_keys as f32,
+            earliness: halt_fraction_sum / num_keys as f32,
+            num_keys,
+        };
+
+        let total = l1
+            .add(l2.scale(self.alpha))
+            .add(l3.scale(self.beta))
+            .add(lb);
+        sess.backward(total);
+        sess.accumulate_grads(&mut model.store);
+        clip_global_norm(&mut model.store, &self.model_ids, self.grad_clip);
+        clip_global_norm(&mut model.store, &self.baseline_ids, self.grad_clip);
+        self.opt_model.step(&mut model.store);
+        self.opt_baseline.step(&mut model.store);
+        model.store.zero_grads();
+        debug_assert!(
+            !model.store.has_non_finite(),
+            "non-finite parameter after update"
+        );
+        stats
+    }
+
+    /// Trains one pass over a set of scenarios.
+    pub fn train_epoch(
+        &mut self,
+        model: &mut KvecModel,
+        scenarios: &[TangledSequence],
+        rng: &mut KvecRng,
+    ) -> EpochStats {
+        let mut agg = EpochStats::default();
+        for scenario in scenarios {
+            let s = self.train_scenario(model, scenario, rng);
+            let k = s.num_keys as f32;
+            agg.loss += (s.loss_ce + self.alpha * s.loss_policy + self.beta * s.loss_halt) * k;
+            agg.accuracy += s.accuracy * k;
+            agg.earliness += s.earliness * k;
+            agg.num_keys += s.num_keys;
+        }
+        if agg.num_keys > 0 {
+            let n = agg.num_keys as f32;
+            agg.loss /= n;
+            agg.accuracy /= n;
+            agg.earliness /= n;
+        }
+        self.epochs_done += 1;
+        agg
+    }
+
+    /// The trade-off weight `beta` currently in effect.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+}
+
+fn accumulate<'s>(acc: Option<Var<'s>>, term: Var<'s>) -> Var<'s> {
+    match acc {
+        Some(a) => a.add(term),
+        None => term,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvec_data::{synth, Dataset};
+    use kvec_data::synth::TrafficConfig;
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let cfg = TrafficConfig {
+            num_flows: 24,
+            num_classes: 2,
+            mean_len: 14,
+            min_len: 10,
+            max_len: 20,
+            ..TrafficConfig::traffic_app(0)
+        };
+        let pool = synth::generate_traffic(&cfg, &mut rng);
+        Dataset::from_pool("tiny", cfg.schema(), 2, pool, 4, &mut rng)
+    }
+
+    #[test]
+    fn one_step_updates_parameters_and_reports_stats() {
+        let ds = tiny_dataset(1);
+        let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
+        let mut rng = KvecRng::seed_from_u64(2);
+        let mut model = KvecModel::new(&cfg, &mut rng);
+        let before: Vec<_> = model
+            .store
+            .ids()
+            .iter()
+            .map(|&id| model.store.value(id).clone())
+            .collect();
+
+        let mut trainer = Trainer::new(&cfg, &model);
+        let stats = trainer.train_scenario(&mut model, &ds.train[0], &mut rng);
+        assert!(stats.num_keys > 0);
+        assert!(stats.loss_ce > 0.0, "CE of an untrained model is positive");
+        assert!(stats.earliness > 0.0 && stats.earliness <= 1.0);
+
+        let changed = model
+            .store
+            .ids()
+            .iter()
+            .filter(|&&id| model.store.value(id) != &before[id.index()])
+            .count();
+        assert!(
+            changed > model.store.len() / 2,
+            "only {changed}/{} params changed",
+            model.store.len()
+        );
+        assert!(!model.store.has_non_finite());
+    }
+
+    #[test]
+    fn training_reduces_cross_entropy() {
+        let ds = tiny_dataset(3);
+        let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
+        let mut rng = KvecRng::seed_from_u64(4);
+        let mut model = KvecModel::new(&cfg, &mut rng);
+        let mut trainer = Trainer::new(&cfg, &model);
+
+        let first = trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        let mut last = first;
+        for _ in 0..6 {
+            last = trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        }
+        assert!(
+            last.accuracy > first.accuracy || last.loss < first.loss,
+            "no learning signal: first {:?} last {:?}",
+            first,
+            last
+        );
+    }
+
+    #[test]
+    fn large_beta_halts_earlier_than_negative_beta() {
+        let ds = tiny_dataset(5);
+        let run = |beta: f32| {
+            let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes).with_beta(beta);
+            let mut rng = KvecRng::seed_from_u64(6);
+            let mut model = KvecModel::new(&cfg, &mut rng);
+            let mut trainer = Trainer::new(&cfg, &model);
+            let mut e = 0.0;
+            for _ in 0..7 {
+                e = trainer.train_epoch(&mut model, &ds.train, &mut rng).earliness;
+            }
+            e
+        };
+        let eager = run(2.0);
+        let lazy = run(-0.05);
+        assert!(
+            eager < lazy,
+            "beta=2 earliness {eager} should be below beta=-0.05 earliness {lazy}"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the dynamic-mask invariants — the heart of the
+//! paper's representation learning.
+
+use kvec::mask::{build_mask, EdgeKind};
+use kvec_data::{Item, Key, TangledSequence};
+use proptest::prelude::*;
+
+/// Random tangled streams: up to 5 keys, binary session codes.
+fn stream_strategy() -> impl Strategy<Value = TangledSequence> {
+    proptest::collection::vec((0u64..5, 0u32..2), 1..30).prop_map(|raw| {
+        let items: Vec<Item> = raw
+            .iter()
+            .enumerate()
+            .map(|(t, &(k, code))| Item::new(Key(k), vec![code], t as u64))
+            .collect();
+        let mut keys: Vec<u64> = raw.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let labels = keys.into_iter().map(|k| (Key(k), 0usize)).collect();
+        TangledSequence::new(items, labels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn diagonal_always_visible(t in stream_strategy()) {
+        let dm = build_mask(&t, 0, true, true);
+        for i in 0..t.len() {
+            prop_assert_eq!(dm.mask[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn strict_causality(t in stream_strategy()) {
+        for (uk, uv) in [(true, true), (true, false), (false, true), (false, false)] {
+            let dm = build_mask(&t, 0, uk, uv);
+            for i in 0..t.len() {
+                for j in (i + 1)..t.len() {
+                    prop_assert_eq!(dm.mask[(i, j)], f32::NEG_INFINITY);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_grow_monotonically_with_enabled_correlations(t in stream_strategy()) {
+        let count = |uk: bool, uv: bool| {
+            let dm = build_mask(&t, 0, uk, uv);
+            dm.mask.data().iter().filter(|&&v| v == 0.0).count()
+        };
+        let none = count(false, false);
+        let key_only = count(true, false);
+        let value_only = count(false, true);
+        let both = count(true, true);
+        prop_assert!(key_only >= none);
+        prop_assert!(value_only >= none);
+        prop_assert!(both >= key_only.max(value_only));
+        // With both off, exactly the diagonal survives.
+        prop_assert_eq!(none, t.len());
+    }
+
+    #[test]
+    fn key_edges_never_cross_keys_and_value_edges_always_do(t in stream_strategy()) {
+        let dm = build_mask(&t, 0, true, true);
+        let n = t.len();
+        for i in 0..n {
+            for j in 0..n {
+                match dm.kinds[i * n + j] {
+                    EdgeKind::Key => {
+                        prop_assert_eq!(t.items[i].key, t.items[j].key);
+                        prop_assert!(j < i, "key edge must point backwards");
+                    }
+                    EdgeKind::Value => {
+                        prop_assert_ne!(t.items[i].key, t.items[j].key);
+                        prop_assert!(j < i);
+                        // A value edge requires matching session codes.
+                        prop_assert_eq!(t.items[i].value[0], t.items[j].value[0]);
+                    }
+                    EdgeKind::SelfEdge => prop_assert_eq!(i, j),
+                    EdgeKind::None => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_correlation_is_complete_within_a_key(t in stream_strategy()) {
+        // With key correlation on, every pair (i, j<i) of the same key is
+        // visible.
+        let dm = build_mask(&t, 0, true, false);
+        for i in 0..t.len() {
+            for j in 0..i {
+                if t.items[i].key == t.items[j].key {
+                    prop_assert_eq!(dm.mask[(i, j)], 0.0, "({}, {})", i, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_and_mask_agree(t in stream_strategy()) {
+        let dm = build_mask(&t, 0, true, true);
+        let n = t.len();
+        for i in 0..n {
+            for j in 0..n {
+                let visible = dm.mask[(i, j)] == 0.0;
+                let kind = dm.kinds[i * n + j];
+                prop_assert_eq!(visible, kind != EdgeKind::None, "({}, {})", i, j);
+            }
+        }
+    }
+}

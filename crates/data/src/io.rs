@@ -1,0 +1,54 @@
+//! JSON persistence for datasets.
+//!
+//! Experiment binaries generate each dataset once (seeded) and may cache it
+//! on disk so every figure harness trains on byte-identical data.
+
+use crate::Dataset;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Saves a dataset as pretty-printed JSON.
+pub fn save_dataset(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = serde_json::to_string(ds).map_err(io::Error::other)?;
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, json)
+}
+
+/// Loads a dataset previously written by [`save_dataset`].
+pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Key, LabeledSequence, ValueSchema};
+    use kvec_tensor::KvecRng;
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut rng = KvecRng::seed_from_u64(1);
+        let pool = (0..10)
+            .map(|i| LabeledSequence::new(Key(i), (i % 2) as usize, vec![vec![0], vec![1]]))
+            .collect();
+        let schema = ValueSchema::new(vec!["f".into()], vec![2], 0);
+        let ds = Dataset::from_pool("io-test", schema, 2, pool, 2, &mut rng);
+
+        let dir = std::env::temp_dir().join("kvec-data-io-test");
+        let path = dir.join("ds.json");
+        save_dataset(&ds, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.name, "io-test");
+        assert_eq!(back.total_items(), ds.total_items());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_dataset("/nonexistent/kvec/ds.json").is_err());
+    }
+}

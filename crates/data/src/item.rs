@@ -1,0 +1,107 @@
+//! Items, keys and per-key labeled sequences.
+
+use serde::{Deserialize, Serialize};
+
+/// The key field of an item: the identity of the key-value sequence it
+/// belongs to (a flow five-tuple hash, a user id, ...).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Key(pub u64);
+
+/// One item `<k, v>` of a tangled key-value sequence.
+///
+/// The value is a vector of categorical field codes; [`crate::ValueSchema`]
+/// gives each field its cardinality and designates the *session field* used
+/// by the value-correlation structure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Item {
+    /// The sequence this item belongs to.
+    pub key: Key,
+    /// Categorical value fields, one code per schema field.
+    pub value: Vec<u32>,
+    /// Arrival time (a global logical clock in the synthetic datasets).
+    pub time: u64,
+}
+
+impl Item {
+    /// Creates an item.
+    pub fn new(key: Key, value: Vec<u32>, time: u64) -> Self {
+        Self { key, value, time }
+    }
+}
+
+/// A single key's full sequence before tangling, with its class label.
+///
+/// Generators produce these; [`crate::mixer`] interleaves them into
+/// [`crate::TangledSequence`] scenarios.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledSequence {
+    /// The shared key.
+    pub key: Key,
+    /// Ground-truth class of the sequence.
+    pub label: usize,
+    /// Value vectors in arrival order.
+    pub values: Vec<Vec<u32>>,
+    /// Ground-truth halting position for datasets that define one (the
+    /// paper's Synthetic-Traffic early-/late-stop data); `None` elsewhere.
+    pub true_stop: Option<usize>,
+}
+
+impl LabeledSequence {
+    /// Creates a labeled sequence without a ground-truth stop position.
+    pub fn new(key: Key, label: usize, values: Vec<Vec<u32>>) -> Self {
+        Self {
+            key,
+            label,
+            values,
+            true_stop: None,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the sequence has no items.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_construction() {
+        let it = Item::new(Key(7), vec![1, 2], 42);
+        assert_eq!(it.key, Key(7));
+        assert_eq!(it.value, vec![1, 2]);
+        assert_eq!(it.time, 42);
+    }
+
+    #[test]
+    fn labeled_sequence_len() {
+        let s = LabeledSequence::new(Key(1), 0, vec![vec![0], vec![1]]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(s.true_stop.is_none());
+    }
+
+    #[test]
+    fn key_ordering_and_hash() {
+        let mut keys = vec![Key(3), Key(1), Key(2)];
+        keys.sort();
+        assert_eq!(keys, vec![Key(1), Key(2), Key(3)]);
+    }
+
+    #[test]
+    fn item_serde_round_trip() {
+        let it = Item::new(Key(9), vec![4, 5, 6], 100);
+        let json = serde_json::to_string(&it).unwrap();
+        let back: Item = serde_json::from_str(&json).unwrap();
+        assert_eq!(it, back);
+    }
+}

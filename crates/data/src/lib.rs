@@ -1,0 +1,40 @@
+//! # kvec-data
+//!
+//! The tangled key-value sequence data model of the KVEC paper, plus
+//! synthetic generators reproducing the structure of its five evaluation
+//! datasets.
+//!
+//! A *tangled key-value sequence* `S` is a chronological stream of items
+//! `<k, v>`; the sub-stream sharing one key `k` is the key-value sequence
+//! `S_k` to be classified. This crate provides:
+//!
+//! - the item/sequence/schema types ([`Item`], [`LabeledSequence`],
+//!   [`TangledSequence`], [`ValueSchema`]);
+//! - session segmentation (the *value correlation* structure: maximal runs
+//!   of items sharing the session field value, e.g. packet bursts of one
+//!   direction);
+//! - key-disjoint train/val/test splitting and k-fold cross-validation;
+//! - the [`mixer`] interleaving per-key sequences into tangled scenarios
+//!   with a controllable number of concurrent sequences `K`;
+//! - Table-I style [`stats`];
+//! - [`synth`] generators standing in for USTC-TFC2016, MovieLens-1M,
+//!   Traffic-FG, Traffic-App and Synthetic-Traffic (see `DESIGN.md` for the
+//!   substitution rationale);
+//! - JSON persistence ([`io`]).
+
+mod dataset;
+pub mod io;
+mod item;
+pub mod mixer;
+mod schema;
+mod session;
+pub mod split;
+pub mod stats;
+pub mod synth;
+mod tangled;
+
+pub use dataset::Dataset;
+pub use item::{Item, Key, LabeledSequence};
+pub use schema::ValueSchema;
+pub use session::{session_ids, session_lengths};
+pub use tangled::TangledSequence;

@@ -1,0 +1,224 @@
+//! Interleaving per-key sequences into tangled scenarios.
+//!
+//! The paper's datasets mix the packets of many concurrent flows (or the
+//! ratings of many users) chronologically. The mixer reproduces that: it
+//! groups labeled sequences into scenarios of `k_concurrent` keys each and
+//! interleaves every scenario by repeatedly drawing the next item from a
+//! random unfinished sequence, weighted by its remaining length — a good
+//! stand-in for Poisson arrivals with per-flow rates proportional to flow
+//! size.
+
+use crate::{Item, LabeledSequence, TangledSequence};
+use kvec_tensor::KvecRng;
+
+/// Interleaves one group of sequences into a single tangled stream.
+pub fn tangle_group(group: &[LabeledSequence], rng: &mut KvecRng) -> TangledSequence {
+    let total: usize = group.iter().map(LabeledSequence::len).sum();
+    let mut cursors = vec![0usize; group.len()];
+    let mut items = Vec::with_capacity(total);
+    let mut time = 0u64;
+    loop {
+        let weights: Vec<f32> = group
+            .iter()
+            .zip(&cursors)
+            .map(|(s, &c)| (s.len() - c) as f32)
+            .collect();
+        if weights.iter().all(|&w| w == 0.0) {
+            break;
+        }
+        let pick = rng.weighted_index(&weights);
+        let seq = &group[pick];
+        items.push(Item::new(seq.key, seq.values[cursors[pick]].clone(), time));
+        cursors[pick] += 1;
+        time += 1;
+    }
+    let labels = group.iter().map(|s| (s.key, s.label)).collect();
+    let true_stops = group
+        .iter()
+        .filter_map(|s| s.true_stop.map(|p| (s.key, p)))
+        .collect();
+    let mut t = TangledSequence::new(items, labels);
+    t.true_stops = true_stops;
+    t
+}
+
+/// Splits `sequences` into consecutive groups of `k_concurrent` and tangles
+/// each. A trailing smaller group is kept if it is non-empty.
+pub fn tangle_scenarios(
+    sequences: &[LabeledSequence],
+    k_concurrent: usize,
+    rng: &mut KvecRng,
+) -> Vec<TangledSequence> {
+    assert!(k_concurrent > 0, "k_concurrent must be positive");
+    sequences
+        .chunks(k_concurrent)
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| tangle_group(chunk, rng))
+        .collect()
+}
+
+/// Tangles scenarios with **class locality**: each scenario's sequences are
+/// drawn from at most `classes_per_scenario` classes.
+///
+/// Real captures exhibit application-level temporal locality — one app
+/// produces many concurrent flows, so a flow usually co-occurs with
+/// same-class flows. This is the structure KVEC's cross-sequence value
+/// correlation exploits; uniformly mixed scenarios (one flow per class)
+/// starve it. Every sequence appears in exactly one scenario.
+pub fn tangle_scenarios_clustered(
+    sequences: &[LabeledSequence],
+    k_concurrent: usize,
+    classes_per_scenario: usize,
+    rng: &mut KvecRng,
+) -> Vec<TangledSequence> {
+    assert!(k_concurrent > 0, "k_concurrent must be positive");
+    assert!(classes_per_scenario > 0, "classes_per_scenario must be positive");
+    // Bucket by class, shuffled within class.
+    let mut by_class: std::collections::BTreeMap<usize, Vec<LabeledSequence>> = Default::default();
+    for s in sequences {
+        by_class.entry(s.label).or_default().push(s.clone());
+    }
+    let mut buckets: Vec<Vec<LabeledSequence>> = by_class.into_values().collect();
+    for b in &mut buckets {
+        rng.shuffle(b);
+    }
+
+    let mut scenarios = Vec::new();
+    loop {
+        // Pick up to `classes_per_scenario` non-empty class buckets at
+        // random and round-robin flows from them.
+        let mut non_empty: Vec<usize> = (0..buckets.len())
+            .filter(|&i| !buckets[i].is_empty())
+            .collect();
+        if non_empty.is_empty() {
+            break;
+        }
+        rng.shuffle(&mut non_empty);
+        non_empty.truncate(classes_per_scenario);
+        let mut group = Vec::with_capacity(k_concurrent);
+        'fill: loop {
+            let mut progressed = false;
+            for &b in &non_empty {
+                if let Some(seq) = buckets[b].pop() {
+                    group.push(seq);
+                    progressed = true;
+                    if group.len() == k_concurrent {
+                        break 'fill;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if !group.is_empty() {
+            scenarios.push(tangle_group(&group, rng));
+        }
+    }
+    scenarios
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Key;
+
+    fn seqs(n: usize, len: usize) -> Vec<LabeledSequence> {
+        (0..n)
+            .map(|i| {
+                LabeledSequence::new(
+                    Key(i as u64),
+                    i % 2,
+                    (0..len).map(|j| vec![j as u32]).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tangle_preserves_items_and_per_key_order() {
+        let group = seqs(3, 5);
+        let mut rng = KvecRng::seed_from_u64(1);
+        let t = tangle_group(&group, &mut rng);
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.num_keys(), 3);
+        for (key, idxs) in t.key_subsequences() {
+            let vals: Vec<u32> = idxs.iter().map(|&i| t.items[i].value[0]).collect();
+            assert_eq!(vals, vec![0, 1, 2, 3, 4], "order broken for {key:?}");
+        }
+    }
+
+    #[test]
+    fn times_are_strictly_increasing() {
+        let group = seqs(2, 4);
+        let mut rng = KvecRng::seed_from_u64(2);
+        let t = tangle_group(&group, &mut rng);
+        assert!(t.items.windows(2).all(|w| w[0].time < w[1].time));
+    }
+
+    #[test]
+    fn interleaving_actually_mixes() {
+        // With 4 sequences of length 10, a pure concatenation is
+        // astronomically unlikely; check at least one key switch happens
+        // before any sequence is exhausted.
+        let group = seqs(4, 10);
+        let mut rng = KvecRng::seed_from_u64(3);
+        let t = tangle_group(&group, &mut rng);
+        let first_ten: Vec<_> = t.items[..10].iter().map(|it| it.key).collect();
+        let distinct: std::collections::BTreeSet<_> = first_ten.iter().collect();
+        assert!(distinct.len() > 1, "no interleaving happened");
+    }
+
+    #[test]
+    fn scenarios_chunking() {
+        let all = seqs(10, 3);
+        let mut rng = KvecRng::seed_from_u64(4);
+        let scenarios = tangle_scenarios(&all, 4, &mut rng);
+        assert_eq!(scenarios.len(), 3); // 4 + 4 + 2
+        assert_eq!(scenarios[0].num_keys(), 4);
+        assert_eq!(scenarios[2].num_keys(), 2);
+        let total: usize = scenarios.iter().map(TangledSequence::len).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn clustered_tangling_partitions_and_bounds_classes() {
+        // 6 classes x 8 flows each.
+        let pool: Vec<LabeledSequence> = (0..48)
+            .map(|i| {
+                LabeledSequence::new(Key(i as u64), (i % 6) as usize, vec![vec![0], vec![1]])
+            })
+            .collect();
+        let mut rng = KvecRng::seed_from_u64(7);
+        let scenarios = tangle_scenarios_clustered(&pool, 8, 2, &mut rng);
+        let total_keys: usize = scenarios.iter().map(TangledSequence::num_keys).sum();
+        assert_eq!(total_keys, 48, "every flow appears exactly once");
+        for sc in &scenarios {
+            let classes: std::collections::BTreeSet<usize> =
+                sc.labels.iter().map(|&(_, l)| l).collect();
+            assert!(classes.len() <= 2, "scenario spans {} classes", classes.len());
+            assert!(sc.num_keys() <= 8);
+        }
+        // Locality exists: at least one scenario has >= 2 flows of the
+        // same class.
+        assert!(scenarios.iter().any(|sc| {
+            let mut counts = std::collections::BTreeMap::new();
+            for &(_, l) in &sc.labels {
+                *counts.entry(l).or_insert(0usize) += 1;
+            }
+            counts.values().any(|&c| c >= 2)
+        }));
+    }
+
+    #[test]
+    fn labels_and_true_stops_carried_through() {
+        let mut group = seqs(2, 3);
+        group[0].true_stop = Some(2);
+        let mut rng = KvecRng::seed_from_u64(5);
+        let t = tangle_group(&group, &mut rng);
+        assert_eq!(t.label_of(Key(0)), Some(0));
+        assert_eq!(t.label_of(Key(1)), Some(1));
+        assert_eq!(t.true_stop_map().get(&Key(0)), Some(&2));
+        assert_eq!(t.true_stop_map().get(&Key(1)), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Value-field schema.
+
+use serde::{Deserialize, Serialize};
+
+/// Describes the value fields of a dataset's items.
+///
+/// Each field is categorical with a known cardinality; one field is the
+/// *session field*: maximal runs of items (within one key's sequence)
+/// sharing the session-field value form a *session* — the paper's value
+/// correlation structure (packet bursts of one transmission direction,
+/// genre runs of one user's ratings).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueSchema {
+    /// Human-readable field names (e.g. `["direction", "size_bucket"]`).
+    pub field_names: Vec<String>,
+    /// Cardinality of each field; codes are `0..cardinality`.
+    pub cardinalities: Vec<usize>,
+    /// Index of the session field within `field_names`/`cardinalities`.
+    pub session_field: usize,
+}
+
+impl ValueSchema {
+    /// Creates a schema; panics on inconsistent arguments.
+    pub fn new(
+        field_names: Vec<String>,
+        cardinalities: Vec<usize>,
+        session_field: usize,
+    ) -> Self {
+        assert_eq!(
+            field_names.len(),
+            cardinalities.len(),
+            "field_names and cardinalities must align"
+        );
+        assert!(
+            session_field < field_names.len(),
+            "session_field out of range"
+        );
+        assert!(
+            cardinalities.iter().all(|&c| c > 0),
+            "cardinalities must be positive"
+        );
+        Self {
+            field_names,
+            cardinalities,
+            session_field,
+        }
+    }
+
+    /// Number of value fields.
+    pub fn num_fields(&self) -> usize {
+        self.field_names.len()
+    }
+
+    /// Checks that a value vector conforms to this schema.
+    pub fn validates(&self, value: &[u32]) -> bool {
+        value.len() == self.num_fields()
+            && value
+                .iter()
+                .zip(&self.cardinalities)
+                .all(|(&v, &card)| (v as usize) < card)
+    }
+
+    /// The session-field code of a value vector.
+    pub fn session_value(&self, value: &[u32]) -> u32 {
+        value[self.session_field]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> ValueSchema {
+        ValueSchema::new(
+            vec!["direction".into(), "size".into()],
+            vec![2, 16],
+            0,
+        )
+    }
+
+    #[test]
+    fn validates_in_range_values() {
+        let s = schema();
+        assert!(s.validates(&[1, 15]));
+        assert!(!s.validates(&[2, 0]), "direction out of range");
+        assert!(!s.validates(&[0, 16]), "size out of range");
+        assert!(!s.validates(&[0]), "wrong arity");
+    }
+
+    #[test]
+    fn session_value_extraction() {
+        let s = schema();
+        assert_eq!(s.session_value(&[1, 9]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "session_field out of range")]
+    fn bad_session_field_panics() {
+        let _ = ValueSchema::new(vec!["a".into()], vec![2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = ValueSchema::new(vec!["a".into()], vec![2, 3], 0);
+    }
+}

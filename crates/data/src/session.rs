@@ -1,0 +1,74 @@
+//! Session segmentation — the value-correlation structure.
+//!
+//! A *session* is a maximal run of consecutive items (within one key's
+//! sequence) sharing the same session-field value (paper Section IV-B: a
+//! packet burst of one transmission direction; a run of same-genre movie
+//! ratings).
+
+/// Assigns a session id (0-based, increasing) to each item of one key's
+/// sequence, given the per-item session-field codes.
+///
+/// A new session starts whenever the code changes from the previous item.
+pub fn session_ids(session_codes: &[u32]) -> Vec<usize> {
+    let mut ids = Vec::with_capacity(session_codes.len());
+    let mut current = 0usize;
+    for (i, &code) in session_codes.iter().enumerate() {
+        if i > 0 && code != session_codes[i - 1] {
+            current += 1;
+        }
+        ids.push(current);
+    }
+    ids
+}
+
+/// Lengths of each session, in order.
+pub fn session_lengths(session_codes: &[u32]) -> Vec<usize> {
+    let ids = session_ids(session_codes);
+    let Some(&last) = ids.last() else {
+        return Vec::new();
+    };
+    let mut lengths = vec![0usize; last + 1];
+    for id in ids {
+        lengths[id] += 1;
+    }
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(session_ids(&[]).is_empty());
+        assert!(session_lengths(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_session() {
+        assert_eq!(session_ids(&[1, 1, 1]), vec![0, 0, 0]);
+        assert_eq!(session_lengths(&[1, 1, 1]), vec![3]);
+    }
+
+    #[test]
+    fn alternating_codes() {
+        assert_eq!(session_ids(&[0, 1, 0, 1]), vec![0, 1, 2, 3]);
+        assert_eq!(session_lengths(&[0, 1, 0, 1]), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn bursts() {
+        // Two bursts out, one burst in, one more out.
+        let codes = [0, 0, 0, 1, 1, 0];
+        assert_eq!(session_ids(&codes), vec![0, 0, 0, 1, 1, 2]);
+        assert_eq!(session_lengths(&codes), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn revisited_code_starts_new_session() {
+        // Same code after an interruption is a *different* session.
+        let ids = session_ids(&[5, 5, 7, 5]);
+        assert_eq!(ids, vec![0, 0, 1, 2]);
+        assert_ne!(ids[0], ids[3]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Key-disjoint dataset splitting.
+//!
+//! The paper splits every dataset 8:1:1 *by key* so no key leaks between
+//! train/validation/test, and evaluates with five-fold cross-validation.
+
+use crate::LabeledSequence;
+use kvec_tensor::KvecRng;
+
+/// A key-disjoint three-way split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training sequences.
+    pub train: Vec<LabeledSequence>,
+    /// Validation sequences.
+    pub val: Vec<LabeledSequence>,
+    /// Test sequences.
+    pub test: Vec<LabeledSequence>,
+}
+
+/// Shuffles and splits sequences by key with the given proportions
+/// (`train + val <= 1`; the remainder is the test set).
+pub fn split_by_key(
+    mut sequences: Vec<LabeledSequence>,
+    train_frac: f32,
+    val_frac: f32,
+    rng: &mut KvecRng,
+) -> Split {
+    assert!(
+        train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0 + 1e-6,
+        "invalid split fractions {train_frac}/{val_frac}"
+    );
+    rng.shuffle(&mut sequences);
+    let n = sequences.len();
+    let n_train = ((n as f32) * train_frac).round() as usize;
+    let n_val = ((n as f32) * val_frac).round() as usize;
+    let n_train = n_train.min(n);
+    let n_val = n_val.min(n - n_train);
+    let test = sequences.split_off(n_train + n_val);
+    let val = sequences.split_off(n_train);
+    Split {
+        train: sequences,
+        val,
+        test,
+    }
+}
+
+/// Yields `k` cross-validation folds: each fold holds out a distinct
+/// contiguous share of the (shuffled) sequences as the test set.
+pub fn k_folds(
+    sequences: &[LabeledSequence],
+    k: usize,
+    rng: &mut KvecRng,
+) -> Vec<(Vec<LabeledSequence>, Vec<LabeledSequence>)> {
+    assert!(k >= 2, "need at least two folds");
+    let mut shuffled = sequences.to_vec();
+    rng.shuffle(&mut shuffled);
+    let n = shuffled.len();
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let test: Vec<_> = shuffled[lo..hi].to_vec();
+        let mut train: Vec<_> = shuffled[..lo].to_vec();
+        train.extend_from_slice(&shuffled[hi..]);
+        folds.push((train, test));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Key;
+
+    fn seqs(n: usize) -> Vec<LabeledSequence> {
+        (0..n)
+            .map(|i| LabeledSequence::new(Key(i as u64), 0, vec![vec![0]]))
+            .collect()
+    }
+
+    fn keys(s: &[LabeledSequence]) -> std::collections::BTreeSet<u64> {
+        s.iter().map(|x| x.key.0).collect()
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let mut rng = KvecRng::seed_from_u64(1);
+        let split = split_by_key(seqs(100), 0.8, 0.1, &mut rng);
+        assert_eq!(split.train.len(), 80);
+        assert_eq!(split.val.len(), 10);
+        assert_eq!(split.test.len(), 10);
+        let (a, b, c) = (keys(&split.train), keys(&split.val), keys(&split.test));
+        assert!(a.is_disjoint(&b) && a.is_disjoint(&c) && b.is_disjoint(&c));
+        assert_eq!(a.len() + b.len() + c.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let s1 = split_by_key(seqs(30), 0.8, 0.1, &mut KvecRng::seed_from_u64(7));
+        let s2 = split_by_key(seqs(30), 0.8, 0.1, &mut KvecRng::seed_from_u64(7));
+        assert_eq!(keys(&s1.train), keys(&s2.train));
+    }
+
+    #[test]
+    fn split_shuffles() {
+        let mut rng = KvecRng::seed_from_u64(2);
+        let split = split_by_key(seqs(100), 0.8, 0.1, &mut rng);
+        // The train set should not be exactly keys 0..80.
+        let expected: std::collections::BTreeSet<u64> = (0..80).collect();
+        assert_ne!(keys(&split.train), expected);
+    }
+
+    #[test]
+    fn folds_partition_and_cover() {
+        let all = seqs(25);
+        let mut rng = KvecRng::seed_from_u64(3);
+        let folds = k_folds(&all, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut seen = std::collections::BTreeSet::new();
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 25);
+            assert!(keys(train).is_disjoint(&keys(test)));
+            for k in keys(test) {
+                assert!(seen.insert(k), "key {k} in two folds' test sets");
+            }
+        }
+        assert_eq!(seen.len(), 25, "every key tested exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid split fractions")]
+    fn overfull_fractions_panic() {
+        let mut rng = KvecRng::seed_from_u64(4);
+        let _ = split_by_key(seqs(10), 0.9, 0.2, &mut rng);
+    }
+}

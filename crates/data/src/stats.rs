@@ -1,0 +1,111 @@
+//! Table-I style dataset statistics.
+
+use crate::{LabeledSequence, ValueSchema};
+
+/// Aggregate statistics of a dataset, matching the columns of the paper's
+/// Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of keys (= number of key-value sequences).
+    pub num_keys: usize,
+    /// Average sequence length `avg |S_k|`.
+    pub avg_seq_len: f64,
+    /// Average session length across all sequences.
+    pub avg_session_len: f64,
+    /// Number of distinct class labels.
+    pub num_classes: usize,
+    /// Per-class sequence counts, indexed by label.
+    pub class_counts: Vec<usize>,
+}
+
+/// Computes statistics over a pool of labeled sequences.
+pub fn compute_stats(sequences: &[LabeledSequence], schema: &ValueSchema) -> DatasetStats {
+    let num_keys = sequences.len();
+    let total_items: usize = sequences.iter().map(LabeledSequence::len).sum();
+
+    let mut total_sessions = 0usize;
+    for s in sequences {
+        let codes: Vec<u32> = s
+            .values
+            .iter()
+            .map(|v| schema.session_value(v))
+            .collect();
+        total_sessions += crate::session_lengths(&codes).len();
+    }
+
+    let num_classes = sequences.iter().map(|s| s.label).max().map_or(0, |m| m + 1);
+    let mut class_counts = vec![0usize; num_classes];
+    for s in sequences {
+        class_counts[s.label] += 1;
+    }
+
+    DatasetStats {
+        num_keys,
+        avg_seq_len: if num_keys == 0 {
+            0.0
+        } else {
+            total_items as f64 / num_keys as f64
+        },
+        avg_session_len: if total_sessions == 0 {
+            0.0
+        } else {
+            total_items as f64 / total_sessions as f64
+        },
+        num_classes,
+        class_counts,
+    }
+}
+
+impl DatasetStats {
+    /// Formats one row of the paper's Table I.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{name:<20} {:>8} {:>10.1} {:>10.1} {:>8}",
+            self.num_keys, self.avg_seq_len, self.avg_session_len, self.num_classes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Key;
+
+    fn schema() -> ValueSchema {
+        ValueSchema::new(vec!["dir".into()], vec![2], 0)
+    }
+
+    #[test]
+    fn empty_pool() {
+        let s = compute_stats(&[], &schema());
+        assert_eq!(s.num_keys, 0);
+        assert_eq!(s.avg_seq_len, 0.0);
+        assert_eq!(s.num_classes, 0);
+    }
+
+    #[test]
+    fn averages_and_class_counts() {
+        let seqs = vec![
+            // 4 items, bursts 0 0 | 1 1 -> 2 sessions
+            LabeledSequence::new(Key(1), 0, vec![vec![0], vec![0], vec![1], vec![1]]),
+            // 2 items, 1 session
+            LabeledSequence::new(Key(2), 1, vec![vec![1], vec![1]]),
+        ];
+        let s = compute_stats(&seqs, &schema());
+        assert_eq!(s.num_keys, 2);
+        assert!((s.avg_seq_len - 3.0).abs() < 1e-9);
+        // 6 items / 3 sessions
+        assert!((s.avg_session_len - 2.0).abs() < 1e-9);
+        assert_eq!(s.num_classes, 2);
+        assert_eq!(s.class_counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn table_row_contains_fields() {
+        let seqs = vec![LabeledSequence::new(Key(1), 0, vec![vec![0]])];
+        let s = compute_stats(&seqs, &schema());
+        let row = s.table_row("toy");
+        assert!(row.contains("toy"));
+        assert!(row.contains('1'));
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic dataset generators.
+//!
+//! The paper evaluates on two public datasets (USTC-TFC2016, MovieLens-1M),
+//! two private campus captures (Traffic-FG, Traffic-App) and one synthetic
+//! dataset. None of the raw data ships with this reproduction, so each
+//! dataset is replaced by a seeded generator producing the same *structure*
+//! (see DESIGN.md, "Substitutions"):
+//!
+//! - class-discriminative early signal (traffic handshake signatures /
+//!   genre preferences),
+//! - session structure driving the value correlation (direction bursts /
+//!   genre runs),
+//! - within-class similarity across keys (shared class profiles), and
+//! - tangling of many concurrent sequences.
+
+pub mod movielens;
+pub mod stopsignal;
+pub mod traffic;
+
+pub use movielens::{generate_movielens, MovieLensConfig};
+pub use stopsignal::{generate_stop_signal, StopPosition, StopSignalConfig};
+pub use traffic::{generate_traffic, TrafficConfig};

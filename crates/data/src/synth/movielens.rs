@@ -1,0 +1,205 @@
+//! Synthetic user-rating sequences (MovieLens-1M stand-in).
+//!
+//! Each key is a user with a binary class (the paper predicts gender).
+//! Items are `[genre, rating, movie_bucket]` with the genre as session
+//! field: users watch *runs* of same-genre movies (paper Table I reports an
+//! average genre-run length of 1.7). The two classes differ only in their
+//! genre-preference mixtures, so the per-item signal is weak and many items
+//! are needed for a confident prediction — mirroring why the paper's
+//! MovieLens curves only saturate at 10-40% earliness.
+
+use crate::{Key, LabeledSequence, ValueSchema};
+use kvec_tensor::KvecRng;
+
+/// Configuration of the MovieLens-like generator.
+#[derive(Debug, Clone)]
+pub struct MovieLensConfig {
+    /// Number of users (keys).
+    pub num_users: usize,
+    /// Number of genres.
+    pub num_genres: usize,
+    /// Movies per genre (movie id = genre * movies_per_genre + slot).
+    pub movies_per_genre: usize,
+    /// Rating levels (1..=5 in the real data).
+    pub num_ratings: usize,
+    /// Mean rating-sequence length.
+    pub mean_len: usize,
+    /// Minimum sequence length.
+    pub min_len: usize,
+    /// Maximum sequence length.
+    pub max_len: usize,
+    /// Probability of staying in the current genre (mean run length is
+    /// `1/(1-p_stay_genre)`; 0.33 plus same-genre resampling gives the
+    /// paper's 1.7).
+    pub p_stay_genre: f32,
+    /// Seed of the class preference profiles.
+    pub profile_seed: u64,
+}
+
+impl MovieLensConfig {
+    /// Paper-shaped configuration (long sequences, 2 classes, 18 genres).
+    pub fn movielens_1m(num_users: usize) -> Self {
+        Self {
+            num_users,
+            num_genres: 18,
+            movies_per_genre: 5,
+            num_ratings: 5,
+            mean_len: 149,
+            min_len: 20,
+            max_len: 400,
+            p_stay_genre: 0.37,
+            profile_seed: 0x31,
+        }
+    }
+
+    /// Shrinks sequence lengths for fast experiment runs.
+    pub fn scaled_len(mut self, factor: f32) -> Self {
+        self.mean_len = ((self.mean_len as f32 * factor) as usize).max(self.min_len);
+        self.max_len = ((self.max_len as f32 * factor) as usize).max(self.mean_len + 4);
+        self
+    }
+
+    /// The `[genre, rating, movie_bucket]` schema.
+    pub fn schema(&self) -> ValueSchema {
+        ValueSchema::new(
+            vec!["genre".into(), "rating".into(), "movie".into()],
+            vec![
+                self.num_genres,
+                self.num_ratings,
+                self.num_genres * self.movies_per_genre,
+            ],
+            0,
+        )
+    }
+}
+
+/// Per-class taste profile.
+struct ClassProfile {
+    genre_weights: Vec<f32>,
+    rating_bias: f32,
+}
+
+fn build_profiles(cfg: &MovieLensConfig) -> [ClassProfile; 2] {
+    let make = |class: u64| {
+        let mut rng = KvecRng::seed_from_u64(
+            cfg.profile_seed
+                .wrapping_mul(0xD134_2543_DE82_EF95)
+                .wrapping_add(class),
+        );
+        let mut genre_weights: Vec<f32> =
+            (0..cfg.num_genres).map(|_| rng.uniform(0.2, 1.0)).collect();
+        // Emphasize a class-specific subset of genres.
+        for _ in 0..cfg.num_genres / 3 {
+            let g = rng.below(cfg.num_genres);
+            genre_weights[g] += rng.uniform(1.0, 2.5);
+        }
+        ClassProfile {
+            genre_weights,
+            rating_bias: rng.uniform(-0.5, 0.5),
+        }
+    };
+    [make(0), make(1)]
+}
+
+fn sample_length(cfg: &MovieLensConfig, rng: &mut KvecRng) -> usize {
+    let z = rng.normal(0.0, 0.45);
+    ((cfg.mean_len as f32 * z.exp()) as usize).clamp(cfg.min_len, cfg.max_len)
+}
+
+/// Generates the user pool.
+pub fn generate_movielens(cfg: &MovieLensConfig, rng: &mut KvecRng) -> Vec<LabeledSequence> {
+    let profiles = build_profiles(cfg);
+    let mut pool = Vec::with_capacity(cfg.num_users);
+    for user in 0..cfg.num_users {
+        let class = user % 2;
+        let profile = &profiles[class];
+        let len = sample_length(cfg, rng);
+        let mut values = Vec::with_capacity(len);
+        let mut genre = rng.weighted_index(&profile.genre_weights) as u32;
+        for _ in 0..len {
+            if !rng.bernoulli(cfg.p_stay_genre) {
+                genre = rng.weighted_index(&profile.genre_weights) as u32;
+            }
+            let rating_center = 2.5 + profile.rating_bias;
+            let rating = (rng.normal(rating_center, 1.0).round() as i64)
+                .clamp(0, cfg.num_ratings as i64 - 1) as u32;
+            let movie = genre * cfg.movies_per_genre as u32 + rng.below(cfg.movies_per_genre) as u32;
+            values.push(vec![genre, rating, movie]);
+        }
+        pool.push(LabeledSequence::new(Key(user as u64), class, values));
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::compute_stats;
+
+    #[test]
+    fn pool_validates_against_schema() {
+        let cfg = MovieLensConfig::movielens_1m(60).scaled_len(0.25);
+        let mut rng = KvecRng::seed_from_u64(1);
+        let pool = generate_movielens(&cfg, &mut rng);
+        let schema = cfg.schema();
+        assert_eq!(pool.len(), 60);
+        for s in &pool {
+            assert!(s.label < 2);
+            assert!(s.values.iter().all(|v| schema.validates(v)));
+        }
+    }
+
+    #[test]
+    fn genre_runs_match_target_session_length() {
+        let cfg = MovieLensConfig::movielens_1m(200);
+        let mut rng = KvecRng::seed_from_u64(2);
+        let pool = generate_movielens(&cfg, &mut rng);
+        let stats = compute_stats(&pool, &cfg.schema());
+        assert!(
+            (stats.avg_session_len - 1.7).abs() < 0.4,
+            "avg session {}",
+            stats.avg_session_len
+        );
+    }
+
+    #[test]
+    fn classes_have_distinct_genre_histograms() {
+        let cfg = MovieLensConfig::movielens_1m(100);
+        let mut rng = KvecRng::seed_from_u64(3);
+        let pool = generate_movielens(&cfg, &mut rng);
+        let hist = |class: usize| {
+            let mut h = vec![0f64; cfg.num_genres];
+            let mut total = 0f64;
+            for s in pool.iter().filter(|s| s.label == class) {
+                for v in &s.values {
+                    h[v[0] as usize] += 1.0;
+                    total += 1.0;
+                }
+            }
+            h.iter_mut().for_each(|x| *x /= total);
+            h
+        };
+        let (h0, h1) = (hist(0), hist(1));
+        let l1: f64 = h0.iter().zip(&h1).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 > 0.2, "genre histograms too similar (L1 = {l1})");
+    }
+
+    #[test]
+    fn movie_ids_are_consistent_with_genres() {
+        let cfg = MovieLensConfig::movielens_1m(20).scaled_len(0.2);
+        let mut rng = KvecRng::seed_from_u64(4);
+        for s in generate_movielens(&cfg, &mut rng) {
+            for v in &s.values {
+                assert_eq!(v[2] / cfg.movies_per_genre as u32, v[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = MovieLensConfig::movielens_1m(10).scaled_len(0.2);
+        let a = generate_movielens(&cfg, &mut KvecRng::seed_from_u64(5));
+        let b = generate_movielens(&cfg, &mut KvecRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

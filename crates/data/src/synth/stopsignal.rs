@@ -1,0 +1,250 @@
+//! The paper's Synthetic-Traffic dataset: flows with a known ground-truth
+//! stopping position.
+//!
+//! Section V-A: "The true stop signal is positioned at the start (or end)
+//! of the packet sequence in the early-stop (or late-stop) subdataset. ...
+//! We randomly select two classes of concurrent network flows ...,
+//! intercepting the first ten packets of each flow as the stop signal and
+//! combining them with empty packets."
+//!
+//! The stop signal here is a ten-packet window in which each packet
+//! carries *weak* class evidence: with probability `signal_strength` it is
+//! drawn from the class's profile, otherwise from a shared noise profile.
+//! No single packet decides the class; confidence accumulates across the
+//! window — so a well-calibrated halting policy should stop *near the end
+//! of the window*, which is exactly what the paper's Fig. 11 measures.
+//! Outside the window, packets are class-independent filler ("empty
+//! packets").
+
+use crate::{Key, LabeledSequence, ValueSchema};
+use kvec_tensor::KvecRng;
+
+/// Where the discriminative signal sits inside each flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopPosition {
+    /// Signal occupies the first `sig_len` items; the rest is filler.
+    Early,
+    /// Filler first; the signal occupies the last `sig_len` items.
+    Late,
+}
+
+/// Configuration of the stop-signal generator.
+#[derive(Debug, Clone)]
+pub struct StopSignalConfig {
+    /// Number of flows (keys).
+    pub num_flows: usize,
+    /// Total flow length (the paper uses 100).
+    pub len: usize,
+    /// Length of the stop signal (the paper uses 10).
+    pub sig_len: usize,
+    /// Per-item probability that a signal packet carries class evidence
+    /// (lower = more items needed for a confident decision).
+    pub signal_strength: f32,
+    /// Placement of the signal.
+    pub position: StopPosition,
+    /// Number of packet-size buckets.
+    pub size_buckets: usize,
+    /// Seed of the two class profiles.
+    pub profile_seed: u64,
+}
+
+impl StopSignalConfig {
+    /// Paper-shaped configuration (length 100, signal length 10).
+    pub fn paper(num_flows: usize, position: StopPosition) -> Self {
+        Self {
+            num_flows,
+            len: 100,
+            sig_len: 10,
+            signal_strength: 0.45,
+            position,
+            size_buckets: 16,
+            profile_seed: 0x5707,
+        }
+    }
+
+    /// Shrinks the flow length for fast runs, keeping the 10-item signal.
+    pub fn scaled_len(mut self, len: usize) -> Self {
+        assert!(len > self.sig_len, "len must exceed sig_len");
+        self.len = len;
+        self
+    }
+
+    /// The `[direction, size_bucket]` schema (same as the traffic data).
+    pub fn schema(&self) -> ValueSchema {
+        ValueSchema::new(
+            vec!["direction".into(), "size_bucket".into()],
+            vec![2, self.size_buckets],
+            0,
+        )
+    }
+}
+
+/// The per-class evidence profile: a preferred direction and a set of
+/// preferred size buckets, disjoint between the two classes and from the
+/// filler's low buckets.
+struct ClassProfile {
+    direction: u32,
+    size_codes: Vec<u32>,
+}
+
+fn class_profile(cfg: &StopSignalConfig, class: u64) -> ClassProfile {
+    let mut rng = KvecRng::seed_from_u64(
+        cfg.profile_seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add(class),
+    );
+    // Filler uses buckets [0, B/4); class 0 uses [B/4, B/2); class 1 uses
+    // [B/2, 3B/4) — evidence packets are recognizable but each one is
+    // only weak evidence because most signal-window packets are noise.
+    let quarter = (cfg.size_buckets / 4).max(1);
+    let base = quarter * (1 + class as usize);
+    let size_codes = (0..quarter).map(|i| (base + i) as u32).collect();
+    ClassProfile {
+        direction: rng.below(2) as u32,
+        size_codes,
+    }
+}
+
+fn filler_item(cfg: &StopSignalConfig, rng: &mut KvecRng) -> Vec<u32> {
+    // Class-independent noise: uniform direction, low-bucket sizes (the
+    // paper's "empty packets").
+    vec![
+        rng.below(2) as u32,
+        rng.below((cfg.size_buckets / 4).max(1)) as u32,
+    ]
+}
+
+fn signal_item(
+    cfg: &StopSignalConfig,
+    profile: &ClassProfile,
+    rng: &mut KvecRng,
+) -> Vec<u32> {
+    if rng.bernoulli(cfg.signal_strength) {
+        let size = profile.size_codes[rng.below(profile.size_codes.len())];
+        vec![profile.direction, size]
+    } else {
+        filler_item(cfg, rng)
+    }
+}
+
+/// Generates the flow pool. Every sequence carries its ground-truth
+/// `true_stop`: the item count at which the signal window ends and the
+/// class becomes reliably decidable.
+pub fn generate_stop_signal(cfg: &StopSignalConfig, rng: &mut KvecRng) -> Vec<LabeledSequence> {
+    assert!(cfg.sig_len < cfg.len, "signal must fit inside the flow");
+    let profiles = [class_profile(cfg, 0), class_profile(cfg, 1)];
+    let mut pool = Vec::with_capacity(cfg.num_flows);
+    for flow in 0..cfg.num_flows {
+        let class = flow % 2;
+        let profile = &profiles[class];
+        let mut values = Vec::with_capacity(cfg.len);
+        let filler_len = cfg.len - cfg.sig_len;
+        match cfg.position {
+            StopPosition::Early => {
+                for _ in 0..cfg.sig_len {
+                    values.push(signal_item(cfg, profile, rng));
+                }
+                for _ in 0..filler_len {
+                    values.push(filler_item(cfg, rng));
+                }
+            }
+            StopPosition::Late => {
+                for _ in 0..filler_len {
+                    values.push(filler_item(cfg, rng));
+                }
+                for _ in 0..cfg.sig_len {
+                    values.push(signal_item(cfg, profile, rng));
+                }
+            }
+        }
+        let true_stop = match cfg.position {
+            StopPosition::Early => cfg.sig_len,
+            StopPosition::Late => cfg.len,
+        };
+        let mut seq = LabeledSequence::new(Key(flow as u64), class, values);
+        seq.true_stop = Some(true_stop);
+        pool.push(seq);
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evidence_count(cfg: &StopSignalConfig, values: &[Vec<u32>], class: usize) -> usize {
+        let quarter = cfg.size_buckets / 4;
+        let lo = (quarter * (1 + class)) as u32;
+        let hi = lo + quarter as u32;
+        values.iter().filter(|v| v[1] >= lo && v[1] < hi).count()
+    }
+
+    #[test]
+    fn early_stop_evidence_sits_in_the_window() {
+        let cfg = StopSignalConfig::paper(40, StopPosition::Early).scaled_len(30);
+        let mut rng = KvecRng::seed_from_u64(1);
+        let pool = generate_stop_signal(&cfg, &mut rng);
+        for s in &pool {
+            let in_window = evidence_count(&cfg, &s.values[..cfg.sig_len], s.label);
+            let outside = evidence_count(&cfg, &s.values[cfg.sig_len..], s.label);
+            assert_eq!(outside, 0, "filler must carry no class evidence");
+            // Expect ~ signal_strength * sig_len evidence packets.
+            assert!(in_window >= 1, "window without any evidence");
+            assert_eq!(s.true_stop, Some(cfg.sig_len));
+        }
+    }
+
+    #[test]
+    fn late_stop_evidence_sits_at_the_end() {
+        let cfg = StopSignalConfig::paper(40, StopPosition::Late).scaled_len(30);
+        let mut rng = KvecRng::seed_from_u64(2);
+        let pool = generate_stop_signal(&cfg, &mut rng);
+        for s in &pool {
+            let window_start = s.len() - cfg.sig_len;
+            let outside = evidence_count(&cfg, &s.values[..window_start], s.label);
+            assert_eq!(outside, 0);
+            assert_eq!(s.true_stop, Some(s.len()));
+        }
+    }
+
+    #[test]
+    fn no_single_item_decides_the_class() {
+        // Per-item class evidence is probabilistic: a good share of
+        // signal-window items must be indistinguishable filler.
+        let cfg = StopSignalConfig::paper(100, StopPosition::Early).scaled_len(20);
+        let mut rng = KvecRng::seed_from_u64(3);
+        let pool = generate_stop_signal(&cfg, &mut rng);
+        let mut noise_items = 0usize;
+        let mut total = 0usize;
+        for s in &pool {
+            let evid = evidence_count(&cfg, &s.values[..cfg.sig_len], s.label);
+            noise_items += cfg.sig_len - evid;
+            total += cfg.sig_len;
+        }
+        let noise_frac = noise_items as f32 / total as f32;
+        assert!(
+            (0.3..0.8).contains(&noise_frac),
+            "noise fraction {noise_frac} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn classes_use_disjoint_evidence_buckets() {
+        let cfg = StopSignalConfig::paper(2, StopPosition::Early);
+        let p0 = class_profile(&cfg, 0);
+        let p1 = class_profile(&cfg, 1);
+        for c in &p0.size_codes {
+            assert!(!p1.size_codes.contains(c));
+        }
+    }
+
+    #[test]
+    fn schema_validates_everything() {
+        let cfg = StopSignalConfig::paper(8, StopPosition::Late).scaled_len(20);
+        let mut rng = KvecRng::seed_from_u64(4);
+        let schema = cfg.schema();
+        for s in generate_stop_signal(&cfg, &mut rng) {
+            assert!(s.values.iter().all(|v| schema.validates(v)));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The tangled key-value sequence: an interleaved stream of items from
+//! several concurrent key-value sequences.
+
+use crate::{Item, Key};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One *scenario*: a chronological stream mixing `K` concurrent key-value
+/// sequences, with ground-truth labels per key.
+///
+/// This is the unit the KVEC trainer consumes (Algorithm 1 iterates over
+/// tangled sequences) and the unit the streaming inference engine replays.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TangledSequence {
+    /// Items in arrival order (`time` is non-decreasing).
+    pub items: Vec<Item>,
+    /// `(key, label)` pairs for every key appearing in `items`.
+    pub labels: Vec<(Key, usize)>,
+    /// Ground-truth halting position per key (item index within that key's
+    /// sub-sequence), for datasets that define one.
+    pub true_stops: Vec<(Key, usize)>,
+}
+
+impl TangledSequence {
+    /// Creates a tangled sequence, validating label coverage and time
+    /// monotonicity.
+    pub fn new(items: Vec<Item>, labels: Vec<(Key, usize)>) -> Self {
+        let s = Self {
+            items,
+            labels,
+            true_stops: Vec::new(),
+        };
+        s.validate();
+        s
+    }
+
+    fn validate(&self) {
+        debug_assert!(
+            self.items.windows(2).all(|w| w[0].time <= w[1].time),
+            "items must be chronological"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let label_map = self.label_map();
+            for it in &self.items {
+                debug_assert!(
+                    label_map.contains_key(&it.key),
+                    "missing label for key {:?}",
+                    it.key
+                );
+            }
+        }
+    }
+
+    /// Number of items in the stream.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of distinct keys (concurrent sequences), from the labels.
+    pub fn num_keys(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label lookup map.
+    pub fn label_map(&self) -> BTreeMap<Key, usize> {
+        self.labels.iter().copied().collect()
+    }
+
+    /// Ground-truth stop lookup map (may be empty).
+    pub fn true_stop_map(&self) -> BTreeMap<Key, usize> {
+        self.true_stops.iter().copied().collect()
+    }
+
+    /// The label of one key, if present.
+    pub fn label_of(&self, key: Key) -> Option<usize> {
+        self.labels.iter().find(|(k, _)| *k == key).map(|(_, l)| *l)
+    }
+
+    /// Item indices (into `items`) of each key's sub-sequence, in arrival
+    /// order. Keys are returned in first-arrival order.
+    pub fn key_subsequences(&self) -> Vec<(Key, Vec<usize>)> {
+        let mut order: Vec<Key> = Vec::new();
+        let mut map: BTreeMap<Key, Vec<usize>> = BTreeMap::new();
+        for (i, it) in self.items.iter().enumerate() {
+            let entry = map.entry(it.key).or_insert_with(|| {
+                order.push(it.key);
+                Vec::new()
+            });
+            entry.push(i);
+        }
+        order
+            .into_iter()
+            .map(|k| {
+                let v = map.remove(&k).expect("key recorded");
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// Length of one key's sub-sequence.
+    pub fn seq_len(&self, key: Key) -> usize {
+        self.items.iter().filter(|it| it.key == key).count()
+    }
+
+    /// Truncates the stream to its first `n` items (labels are retained for
+    /// all keys). Useful for earliness-controlled evaluation.
+    pub fn prefix(&self, n: usize) -> TangledSequence {
+        TangledSequence {
+            items: self.items[..n.min(self.items.len())].to_vec(),
+            labels: self.labels.clone(),
+            true_stops: self.true_stops.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TangledSequence {
+        // Keys 1 and 2 interleaved: 1 1 2 1 2
+        let items = vec![
+            Item::new(Key(1), vec![0], 0),
+            Item::new(Key(1), vec![1], 1),
+            Item::new(Key(2), vec![0], 2),
+            Item::new(Key(1), vec![0], 3),
+            Item::new(Key(2), vec![1], 4),
+        ];
+        TangledSequence::new(items, vec![(Key(1), 0), (Key(2), 1)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.num_keys(), 2);
+        assert_eq!(t.label_of(Key(1)), Some(0));
+        assert_eq!(t.label_of(Key(2)), Some(1));
+        assert_eq!(t.label_of(Key(3)), None);
+        assert_eq!(t.seq_len(Key(1)), 3);
+        assert_eq!(t.seq_len(Key(2)), 2);
+    }
+
+    #[test]
+    fn key_subsequences_in_first_arrival_order() {
+        let t = sample();
+        let subs = t.key_subsequences();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0], (Key(1), vec![0, 1, 3]));
+        assert_eq!(subs[1], (Key(2), vec![2, 4]));
+    }
+
+    #[test]
+    fn prefix_truncates_items_only() {
+        let t = sample();
+        let p = t.prefix(3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.num_keys(), 2);
+        assert_eq!(t.prefix(100).len(), 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "missing label")]
+    fn missing_label_is_caught_in_debug() {
+        let items = vec![Item::new(Key(9), vec![0], 0)];
+        let _ = TangledSequence::new(items, vec![]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TangledSequence = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the data-model invariants.
+
+use kvec_data::{mixer, session_ids, session_lengths, split, Key, LabeledSequence};
+use kvec_tensor::KvecRng;
+use proptest::prelude::*;
+
+fn pool_strategy() -> impl Strategy<Value = Vec<LabeledSequence>> {
+    proptest::collection::vec(
+        (
+            0usize..4,
+            proptest::collection::vec(proptest::collection::vec(0u32..4, 2), 1..12),
+        ),
+        2..20,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (label, values))| LabeledSequence::new(Key(i as u64), label, values))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn session_ids_are_monotone_and_dense(codes in proptest::collection::vec(0u32..3, 0..40)) {
+        let ids = session_ids(&codes);
+        prop_assert_eq!(ids.len(), codes.len());
+        for w in ids.windows(2) {
+            prop_assert!(w[1] == w[0] || w[1] == w[0] + 1, "ids must step by 0/1");
+        }
+        let lens = session_lengths(&codes);
+        prop_assert_eq!(lens.iter().sum::<usize>(), codes.len());
+        prop_assert!(lens.iter().all(|&l| l > 0));
+        if let Some(&last) = ids.last() {
+            prop_assert_eq!(lens.len(), last + 1);
+        }
+    }
+
+    #[test]
+    fn tangling_preserves_items_and_per_key_order(pool in pool_strategy(), seed in 0u64..1000) {
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let tangled = mixer::tangle_group(&pool, &mut rng);
+        let total: usize = pool.iter().map(LabeledSequence::len).sum();
+        prop_assert_eq!(tangled.len(), total);
+        for (key, rows) in tangled.key_subsequences() {
+            let original = pool.iter().find(|s| s.key == key).unwrap();
+            let mixed: Vec<&Vec<u32>> = rows.iter().map(|&i| &tangled.items[i].value).collect();
+            prop_assert_eq!(mixed.len(), original.len());
+            for (m, o) in mixed.iter().zip(&original.values) {
+                prop_assert_eq!(*m, o);
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_partition_the_pool(pool in pool_strategy(), k in 1usize..6, seed in 0u64..1000) {
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let scenarios = mixer::tangle_scenarios(&pool, k, &mut rng);
+        let keys: usize = scenarios.iter().map(|t| t.num_keys()).sum();
+        prop_assert_eq!(keys, pool.len());
+        let items: usize = scenarios.iter().map(|t| t.len()).sum();
+        prop_assert_eq!(items, pool.iter().map(LabeledSequence::len).sum::<usize>());
+        for s in &scenarios {
+            prop_assert!(s.num_keys() <= k);
+        }
+    }
+
+    #[test]
+    fn split_is_a_key_partition(pool in pool_strategy(), seed in 0u64..1000) {
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let n = pool.len();
+        let s = split::split_by_key(pool, 0.6, 0.2, &mut rng);
+        let collect = |v: &[LabeledSequence]| {
+            v.iter().map(|x| x.key.0).collect::<std::collections::BTreeSet<_>>()
+        };
+        let (a, b, c) = (collect(&s.train), collect(&s.val), collect(&s.test));
+        prop_assert!(a.is_disjoint(&b));
+        prop_assert!(a.is_disjoint(&c));
+        prop_assert!(b.is_disjoint(&c));
+        prop_assert_eq!(a.len() + b.len() + c.len(), n);
+        prop_assert!(!a.is_empty(), "train split must not be empty");
+    }
+
+    #[test]
+    fn k_folds_test_each_key_once(pool in pool_strategy(), seed in 0u64..1000) {
+        prop_assume!(pool.len() >= 4);
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let folds = split::k_folds(&pool, 4, &mut rng);
+        let mut seen = std::collections::BTreeSet::new();
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), pool.len());
+            for s in test {
+                prop_assert!(seen.insert(s.key.0), "key tested twice");
+            }
+        }
+        prop_assert_eq!(seen.len(), pool.len());
+    }
+
+    #[test]
+    fn prefix_is_a_true_prefix(pool in pool_strategy(), n in 0usize..30, seed in 0u64..1000) {
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let tangled = mixer::tangle_group(&pool, &mut rng);
+        let p = tangled.prefix(n);
+        prop_assert_eq!(p.len(), n.min(tangled.len()));
+        for (a, b) in p.items.iter().zip(&tangled.items) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

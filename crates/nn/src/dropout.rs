@@ -1,0 +1,93 @@
+//! Inverted dropout.
+
+use crate::Session;
+use kvec_autograd::Var;
+use kvec_tensor::{KvecRng, Tensor};
+
+/// Inverted dropout: at train time each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`, so evaluation needs no
+/// rescaling. The mask enters the tape as a constant, so gradients are
+/// masked identically to activations.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer. `p` must be in `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        Self { p }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    /// Applies dropout. `rng = None` (evaluation) or `p == 0` is the
+    /// identity.
+    pub fn forward<'s>(
+        &self,
+        _sess: &'s Session,
+        x: Var<'s>,
+        rng: Option<&mut KvecRng>,
+    ) -> Var<'s> {
+        let Some(rng) = rng else { return x };
+        if self.p == 0.0 {
+            return x;
+        }
+        let (r, c) = x.shape();
+        let keep = 1.0 - self.p;
+        let mut mask = Tensor::zeros(r, c);
+        for v in mask.data_mut() {
+            *v = if rng.bernoulli(keep) { 1.0 / keep } else { 0.0 };
+        }
+        x.mul_const(&mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5);
+        let sess = Session::new();
+        let x = sess.input(Tensor::ones(2, 2));
+        let y = d.forward(&sess, x, None);
+        assert_eq!(y.value().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_train() {
+        let d = Dropout::new(0.0);
+        let sess = Session::new();
+        let mut rng = KvecRng::seed_from_u64(1);
+        let x = sess.input(Tensor::ones(2, 2));
+        let y = d.forward(&sess, x, Some(&mut rng));
+        assert_eq!(y.value().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn train_mode_zeroes_and_rescales() {
+        let d = Dropout::new(0.5);
+        let sess = Session::new();
+        let mut rng = KvecRng::seed_from_u64(2);
+        let x = sess.input(Tensor::ones(1, 1000));
+        let y = d.forward(&sess, x, Some(&mut rng)).value();
+        let zeros = y.data().iter().filter(|v| **v == 0.0).count();
+        let kept = y.data().iter().filter(|v| **v == 2.0).count();
+        assert_eq!(zeros + kept, 1000, "only 0 or 1/keep values appear");
+        assert!((350..650).contains(&zeros), "zeros {zeros} implausible");
+        // Expectation is approximately preserved.
+        assert!((y.mean() - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn invalid_probability_panics() {
+        let _ = Dropout::new(1.0);
+    }
+}

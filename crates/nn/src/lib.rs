@@ -1,0 +1,38 @@
+//! # kvec-nn
+//!
+//! Neural-network building blocks on top of [`kvec_autograd`]:
+//!
+//! - a [`ParamStore`] owning every trainable tensor plus its accumulated
+//!   gradient;
+//! - a [`Session`] that binds parameters into a per-step autodiff tape and
+//!   harvests gradients after the reverse sweep;
+//! - layers ([`Linear`], [`Embedding`], [`FeedForward`], [`AttentionBlock`],
+//!   [`LstmCell`], [`Dropout`]) — exactly the blocks the KVEC paper's model
+//!   and its baselines are assembled from;
+//! - optimizers ([`Sgd`], [`Adam`]) with parameter groups so different
+//!   sub-networks can train at different learning rates (the paper trains
+//!   the value baseline with its own rate, Algorithm 1 line 19);
+//! - loss helpers (softmax cross-entropy, MSE).
+
+mod attention;
+mod dropout;
+mod embedding;
+mod layernorm;
+mod linear;
+pub mod loss;
+mod lstm;
+mod optim;
+mod param;
+mod schedule;
+mod session;
+
+pub use attention::{causal_mask, AttentionBlock, AttentionTrace};
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use layernorm::LayerNorm;
+pub use linear::{FeedForward, Linear};
+pub use lstm::{LstmCell, LstmState};
+pub use optim::{clip_global_norm, Adam, AdamW, Optimizer, Sgd};
+pub use param::{ParamId, ParamStore};
+pub use schedule::LrSchedule;
+pub use session::Session;

@@ -1,0 +1,106 @@
+//! Loss helpers shared by KVEC and the baselines.
+
+use kvec_autograd::Var;
+
+/// Softmax cross-entropy of a single `1 x C` logit row against an integer
+/// target: `-log softmax(logits)[target]` (the paper's `l1` per sequence).
+pub fn cross_entropy_logits<'s>(logits: Var<'s>, target: usize) -> Var<'s> {
+    let (r, c) = logits.shape();
+    assert_eq!(r, 1, "cross_entropy_logits expects a single row");
+    assert!(target < c, "target {target} out of range for {c} classes");
+    logits.log_softmax_rows().pick(0, target).neg()
+}
+
+/// Squared error between a `1 x 1` prediction and a scalar constant target
+/// (`MSE(b, R)` of Algorithm 1 line 19, per step).
+pub fn squared_error<'s>(pred: Var<'s>, target: f32) -> Var<'s> {
+    let (r, c) = pred.shape();
+    assert_eq!((r, c), (1, 1), "squared_error expects a scalar prediction");
+    pred.add_scalar(-target).square()
+}
+
+/// Numerically stable `log sigmoid(z)` for a `1 x 1` logit: `-softplus(-z)`.
+///
+/// `log P(Halt)` when the halting probability is `sigmoid(z)`.
+pub fn log_sigmoid<'s>(z: Var<'s>) -> Var<'s> {
+    z.neg().softplus().neg()
+}
+
+/// Numerically stable `log (1 - sigmoid(z))`: `-softplus(z)`.
+///
+/// `log P(Wait)` when the halting probability is `sigmoid(z)`.
+pub fn log_one_minus_sigmoid<'s>(z: Var<'s>) -> Var<'s> {
+    z.softplus().neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvec_autograd::Graph;
+    use kvec_tensor::Tensor;
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let g = Graph::new();
+        let confident = g.leaf(Tensor::row_vector(&[5.0, -5.0]));
+        let wrong = g.leaf(Tensor::row_vector(&[-5.0, 5.0]));
+        let l_good = cross_entropy_logits(confident, 0).value().item();
+        let l_bad = cross_entropy_logits(wrong, 0).value().item();
+        assert!(l_good < 0.01);
+        assert!(l_bad > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::row_vector(&[0.0, 0.0, 0.0, 0.0]));
+        let l = cross_entropy_logits(logits, 2).value().item();
+        assert!((l - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_direction() {
+        let g = Graph::new();
+        let logits = g.leaf(Tensor::row_vector(&[1.0, 1.0]));
+        let l = cross_entropy_logits(logits, 0);
+        g.backward(l);
+        let grad = g.grad(logits).unwrap();
+        assert!(grad[(0, 0)] < 0.0, "target logit should increase");
+        assert!(grad[(0, 1)] > 0.0, "other logit should decrease");
+    }
+
+    #[test]
+    fn squared_error_basics() {
+        let g = Graph::new();
+        let p = g.leaf(Tensor::scalar(2.0));
+        assert!((squared_error(p, 5.0).value().item() - 9.0).abs() < 1e-6);
+        let l = squared_error(p, 5.0);
+        g.backward(l);
+        assert!((g.grad(p).unwrap().item() + 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_sigmoid_identities() {
+        let g = Graph::new();
+        for z in [-3.0f32, 0.0, 3.0] {
+            let zv = g.leaf(Tensor::scalar(z));
+            let sig = kvec_tensor::sigmoid_scalar(z);
+            assert!((log_sigmoid(zv).value().item() - sig.ln()).abs() < 1e-5);
+            assert!(
+                (log_one_minus_sigmoid(zv).value().item() - (1.0 - sig).ln()).abs() < 1e-4
+            );
+        }
+    }
+
+    #[test]
+    fn log_sigmoid_stable_at_extremes() {
+        let g = Graph::new();
+        let big = g.leaf(Tensor::scalar(80.0));
+        let small = g.leaf(Tensor::scalar(-80.0));
+        assert!(log_sigmoid(big).value().item().is_finite());
+        assert!(log_sigmoid(small).value().item().is_finite());
+        assert!(log_one_minus_sigmoid(big).value().item().is_finite());
+        // log P(Halt) + log P(Wait) stays well below zero but finite.
+        assert!(log_one_minus_sigmoid(small).value().item() > -1e-3);
+    }
+}

@@ -1,0 +1,197 @@
+//! LSTM-style gated cell.
+//!
+//! This single cell implements both
+//! - the paper's **embedding fusion** operation (Section IV-B, "Embedding
+//!   Fusion"): `s_k^(t) = Fusion(s_k^(t-1), E_e^(t))` with forget/input/
+//!   output gates over the concatenation `[s_{t-1}; x_t]`, and
+//! - the recurrent feature extractor of the **EARLIEST** baseline.
+
+use crate::{Linear, ParamId, ParamStore, Session};
+use kvec_autograd::Var;
+use kvec_tensor::{KvecRng, Tensor};
+
+/// The `(hidden, cell)` pair carried between steps.
+#[derive(Clone, Copy)]
+pub struct LstmState<'s> {
+    /// Hidden state `s` (`1 x hidden`) — the sequence representation.
+    pub h: Var<'s>,
+    /// Cell memory `C` (`1 x hidden`).
+    pub c: Var<'s>,
+}
+
+/// A gated recurrent cell with forget/input/output gates.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    wf: Linear,
+    wi: Linear,
+    wo: Linear,
+    wc: Linear,
+    input_dim: usize,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Creates a cell taking `input_dim`-wide inputs and carrying a
+    /// `hidden`-wide state.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        hidden: usize,
+        rng: &mut KvecRng,
+    ) -> Self {
+        let cat = input_dim + hidden;
+        Self {
+            wf: Linear::new(store, &format!("{name}.wf"), cat, hidden, rng),
+            wi: Linear::new(store, &format!("{name}.wi"), cat, hidden, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), cat, hidden, rng),
+            wc: Linear::new(store, &format!("{name}.wc"), cat, hidden, rng),
+            input_dim,
+            hidden,
+        }
+    }
+
+    /// The all-zero initial state.
+    pub fn zero_state<'s>(&self, sess: &'s Session) -> LstmState<'s> {
+        LstmState {
+            h: sess.input(Tensor::zeros(1, self.hidden)),
+            c: sess.input(Tensor::zeros(1, self.hidden)),
+        }
+    }
+
+    /// One gated update:
+    ///
+    /// ```text
+    /// f = sigmoid(Wf [h; x] + bf)       (forget gate)
+    /// i = sigmoid(Wi [h; x] + bi)       (input gate)
+    /// o = sigmoid(Wo [h; x] + bo)       (output gate)
+    /// C' = f (.) C + i (.) tanh(Wc [h; x] + bc)
+    /// h' = o (.) tanh(C')
+    /// ```
+    pub fn step<'s>(
+        &self,
+        sess: &'s Session,
+        store: &ParamStore,
+        x: Var<'s>,
+        state: LstmState<'s>,
+    ) -> LstmState<'s> {
+        assert_eq!(x.shape(), (1, self.input_dim), "lstm input shape");
+        let cat = state.h.concat_cols(x);
+        let f = self.wf.forward(sess, store, cat).sigmoid();
+        let i = self.wi.forward(sess, store, cat).sigmoid();
+        let o = self.wo.forward(sess, store, cat).sigmoid();
+        let candidate = self.wc.forward(sess, store, cat).tanh();
+        let c = f.hadamard(state.c).add(i.hadamard(candidate));
+        let h = o.hadamard(c.tanh());
+        LstmState { h, c }
+    }
+
+    /// Tape-free step for inference paths; returns the new `(h, c)`.
+    pub fn step_tensors(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        h: &Tensor,
+        c: &Tensor,
+    ) -> (Tensor, Tensor) {
+        let cat = Tensor::concat_cols(&[h, x]).expect("lstm concat");
+        let f = self.wf.apply(store, &cat).sigmoid();
+        let i = self.wi.apply(store, &cat).sigmoid();
+        let o = self.wo.apply(store, &cat).sigmoid();
+        let candidate = self.wc.apply(store, &cat).tanh();
+        let c_new = f.hadamard(c).add(&i.hadamard(&candidate));
+        let h_new = o.hadamard(&c_new.tanh());
+        (h_new, c_new)
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// All parameter ids of the four gates.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.wf.param_ids();
+        ids.extend(self.wi.param_ids());
+        ids.extend(self.wo.param_ids());
+        ids.extend(self.wc.param_ids());
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(store: &mut ParamStore) -> LstmCell {
+        let mut rng = KvecRng::seed_from_u64(11);
+        LstmCell::new(store, "cell", 3, 4, &mut rng)
+    }
+
+    #[test]
+    fn state_shapes_are_stable_across_steps() {
+        let mut store = ParamStore::new();
+        let cell = cell(&mut store);
+        let sess = Session::new();
+        let mut state = cell.zero_state(&sess);
+        for step in 0..5 {
+            let x = sess.input(Tensor::full(1, 3, step as f32));
+            state = cell.step(&sess, &store, x, state);
+            assert_eq!(state.h.shape(), (1, 4));
+            assert_eq!(state.c.shape(), (1, 4));
+        }
+    }
+
+    #[test]
+    fn hidden_state_is_bounded_by_tanh() {
+        let mut store = ParamStore::new();
+        let cell = cell(&mut store);
+        let sess = Session::new();
+        let mut state = cell.zero_state(&sess);
+        for _ in 0..20 {
+            let x = sess.input(Tensor::full(1, 3, 100.0));
+            state = cell.step(&sess, &store, x, state);
+        }
+        let h = state.h.value();
+        assert!(h.max() <= 1.0 && h.min() >= -1.0);
+        assert!(!h.has_non_finite());
+    }
+
+    #[test]
+    fn different_inputs_yield_different_states() {
+        let mut store = ParamStore::new();
+        let cell = cell(&mut store);
+        let sess = Session::new();
+        let s0 = cell.zero_state(&sess);
+        let a = cell.step(&sess, &store, sess.input(Tensor::full(1, 3, 1.0)), s0);
+        let s0b = cell.zero_state(&sess);
+        let b = cell.step(&sess, &store, sess.input(Tensor::full(1, 3, -1.0)), s0b);
+        assert!(!a.h.value().allclose(&b.h.value(), 1e-6));
+    }
+
+    #[test]
+    fn bptt_reaches_parameters_through_time() {
+        let mut store = ParamStore::new();
+        let cell = cell(&mut store);
+        let sess = Session::new();
+        let mut state = cell.zero_state(&sess);
+        for _ in 0..3 {
+            let x = sess.input(Tensor::full(1, 3, 0.5));
+            state = cell.step(&sess, &store, x, state);
+        }
+        sess.backward(state.h.square().sum_all());
+        sess.accumulate_grads(&mut store);
+        for id in cell.param_ids() {
+            assert!(
+                store.grad(id).frobenius_norm() > 0.0,
+                "no grad for {}",
+                store.name(id)
+            );
+        }
+    }
+}

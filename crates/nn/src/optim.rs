@@ -1,0 +1,330 @@
+//! First-order optimizers over parameter groups.
+
+use crate::{ParamId, ParamStore};
+use kvec_tensor::Tensor;
+
+/// A gradient-descent optimizer updating a fixed group of parameters.
+///
+/// Groups make the paper's two-rate scheme (Algorithm 1 lines 18-19: the
+/// model at `gamma_theta`, the value baseline at `gamma_theta_b`) a matter
+/// of instantiating two optimizers over disjoint id sets.
+pub trait Optimizer {
+    /// Applies one update from the store's accumulated gradients. Does not
+    /// clear the gradients; call [`ParamStore::zero_grads`] afterwards.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// The parameter ids this optimizer owns.
+    fn params(&self) -> &[ParamId];
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent: `w -= lr * g`.
+pub struct Sgd {
+    lr: f32,
+    params: Vec<ParamId>,
+}
+
+impl Sgd {
+    /// Creates SGD over a parameter group.
+    pub fn new(params: Vec<ParamId>, lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr, params }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        for &id in &self.params {
+            let g = store.grad(id).clone();
+            store.value_mut(id).add_scaled_assign(&g, -self.lr);
+        }
+    }
+
+    fn params(&self) -> &[ParamId] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer the paper uses.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    params: Vec<ParamId>,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults `beta1 = 0.9`,
+    /// `beta2 = 0.999`, `eps = 1e-8`.
+    pub fn new(store: &ParamStore, params: Vec<ParamId>, lr: f32) -> Self {
+        Self::with_betas(store, params, lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates Adam with explicit moment decay rates.
+    pub fn with_betas(
+        store: &ParamStore,
+        params: Vec<ParamId>,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+    ) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        let m = params
+            .iter()
+            .map(|&id| {
+                let (r, c) = store.value(id).shape();
+                Tensor::zeros(r, c)
+            })
+            .collect::<Vec<_>>();
+        let v = m.clone();
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            params,
+            m,
+            v,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (slot, &id) in self.params.iter().enumerate() {
+            let g = store.grad(id).clone();
+            let m = &mut self.m[slot];
+            let v = &mut self.v[slot];
+            for ((m_i, v_i), g_i) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut())
+                .zip(g.data())
+            {
+                *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g_i;
+                *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g_i * g_i;
+            }
+            let w = store.value_mut(id);
+            for ((w_i, m_i), v_i) in w.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                let m_hat = m_i / bc1;
+                let v_hat = v_i / bc2;
+                *w_i -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn params(&self) -> &[ParamId] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// AdamW: Adam with decoupled weight decay (`w -= lr * wd * w` applied
+/// outside the adaptive update), the modern default for transformer
+/// training.
+pub struct AdamW {
+    inner: Adam,
+    weight_decay: f32,
+}
+
+impl AdamW {
+    /// Creates AdamW with standard betas and the given decoupled decay.
+    pub fn new(store: &ParamStore, params: Vec<ParamId>, lr: f32, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Self {
+            inner: Adam::new(store, params, lr),
+            weight_decay,
+        }
+    }
+
+    /// The decoupled weight-decay coefficient.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, store: &mut ParamStore) {
+        // Decoupled decay first, then the adaptive update.
+        let shrink = 1.0 - self.inner.lr * self.weight_decay;
+        for &id in &self.inner.params {
+            store.value_mut(id).scale_assign(shrink);
+        }
+        self.inner.step(store);
+    }
+
+    fn params(&self) -> &[ParamId] {
+        self.inner.params()
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.inner.learning_rate()
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.inner.set_learning_rate(lr);
+    }
+}
+
+/// Rescales the gradients of `ids` so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm. REINFORCE gradients are heavy-
+/// tailed; the KVEC trainer clips before every step.
+pub fn clip_global_norm(store: &mut ParamStore, ids: &[ParamId], max_norm: f32) -> f32 {
+    let norm = store.grad_norm(ids);
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for &id in ids {
+            store.scale_grad(id, scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvec_tensor::KvecRng;
+
+    /// Minimizes `(w - 3)^2` and checks convergence.
+    fn quadratic_descent(opt_factory: impl Fn(&ParamStore, Vec<ParamId>) -> Box<dyn Optimizer>) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(0.0));
+        let mut opt = opt_factory(&store, vec![w]);
+        for _ in 0..500 {
+            let wv = store.value(w).item();
+            let grad = 2.0 * (wv - 3.0);
+            store.zero_grads();
+            store.accumulate_grad(w, &Tensor::scalar(grad));
+            opt.step(&mut store);
+        }
+        let final_w = store.value(w).item();
+        assert!((final_w - 3.0).abs() < 0.05, "w = {final_w}");
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        quadratic_descent(|_s, ids| Box::new(Sgd::new(ids, 0.05)));
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        quadratic_descent(|s, ids| Box::new(Adam::new(s, ids, 0.1)));
+    }
+
+    #[test]
+    fn adamw_minimizes_quadratic() {
+        quadratic_descent(|s, ids| Box::new(AdamW::new(s, ids, 0.1, 1e-4)));
+    }
+
+    #[test]
+    fn adamw_decays_weights_without_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(10.0));
+        let mut opt = AdamW::new(&store, vec![w], 0.1, 0.5);
+        // Zero gradient: pure decoupled decay shrinks the weight.
+        opt.step(&mut store);
+        let v = store.value(w).item();
+        assert!(v < 10.0, "weight should shrink, got {v}");
+        assert!((v - 10.0 * (1.0 - 0.1 * 0.5)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_only_touches_its_group() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::scalar(1.0));
+        let b = store.add("b", Tensor::scalar(1.0));
+        let mut opt = Adam::new(&store, vec![a], 0.1);
+        store.accumulate_grad(a, &Tensor::scalar(1.0));
+        store.accumulate_grad(b, &Tensor::scalar(1.0));
+        opt.step(&mut store);
+        assert!(store.value(a).item() < 1.0);
+        assert_eq!(store.value(b).item(), 1.0);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let store = ParamStore::new();
+        let mut opt = Adam::new(&store, vec![], 0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(1, 2));
+        store.accumulate_grad(w, &Tensor::row_vector(&[0.3, 0.4]));
+        let pre = clip_global_norm(&mut store, &[w], 1.0);
+        assert!((pre - 0.5).abs() < 1e-6);
+        assert_eq!(store.grad(w).data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(1, 2));
+        store.accumulate_grad(w, &Tensor::row_vector(&[30.0, 40.0]));
+        let pre = clip_global_norm(&mut store, &[w], 5.0);
+        assert!((pre - 50.0).abs() < 1e-3);
+        let g = store.grad(w);
+        assert!((g.data()[0] - 3.0).abs() < 1e-4);
+        assert!((g.data()[1] - 4.0).abs() < 1e-4);
+        assert!((store.grad_norm(&[w]) - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_trains_a_linear_regression() {
+        // Fit y = 2x - 1 from noisy samples using the full stack.
+        use crate::{Linear, Session};
+        let mut rng = KvecRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "reg", 1, 1, &mut rng);
+        let mut opt = Adam::new(&store, store.ids(), 0.05);
+        for _ in 0..300 {
+            let x = rng.uniform(-1.0, 1.0);
+            let y = 2.0 * x - 1.0 + rng.normal(0.0, 0.01);
+            let sess = Session::new();
+            let xv = sess.input(Tensor::scalar(x));
+            let pred = lin.forward(&sess, &store, xv);
+            let loss = pred.add_scalar(-y).square();
+            sess.backward(loss);
+            sess.accumulate_grads(&mut store);
+            opt.step(&mut store);
+            store.zero_grads();
+        }
+        let w = store.value(lin.param_ids()[0]).item();
+        let b = store.value(lin.param_ids()[1]).item();
+        assert!((w - 2.0).abs() < 0.2, "w = {w}");
+        assert!((b + 1.0).abs() < 0.2, "b = {b}");
+    }
+}

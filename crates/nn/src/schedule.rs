@@ -1,0 +1,138 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains at a fixed rate; schedules are provided as standard
+//! equipment for larger runs (warmup stabilizes the attention stack early,
+//! decay sharpens late training). Drive them manually:
+//!
+//! ```
+//! use kvec_nn::LrSchedule;
+//! let sched = LrSchedule::cosine_with_warmup(1e-3, 10, 100);
+//! let lr_at_step_5 = sched.lr_at(5);
+//! assert!(lr_at_step_5 < 1e-3);
+//! ```
+
+/// A learning-rate schedule mapping a global step to a rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Multiply by `factor` every `every` steps.
+    StepDecay {
+        /// Initial rate.
+        lr: f32,
+        /// Steps between decays.
+        every: usize,
+        /// Multiplicative factor per decay (in `(0, 1]`).
+        factor: f32,
+    },
+    /// Linear warmup to `lr` over `warmup` steps, then cosine decay to
+    /// zero at `total` steps.
+    CosineWithWarmup {
+        /// Peak rate.
+        lr: f32,
+        /// Warmup steps.
+        warmup: usize,
+        /// Total steps (after which the rate is 0).
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Fixed-rate schedule.
+    pub fn constant(lr: f32) -> Self {
+        assert!(lr > 0.0, "lr must be positive");
+        Self::Constant { lr }
+    }
+
+    /// Step-decay schedule.
+    pub fn step_decay(lr: f32, every: usize, factor: f32) -> Self {
+        assert!(lr > 0.0 && every > 0, "invalid step decay");
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0,1]");
+        Self::StepDecay { lr, every, factor }
+    }
+
+    /// Cosine schedule with linear warmup.
+    pub fn cosine_with_warmup(lr: f32, warmup: usize, total: usize) -> Self {
+        assert!(lr > 0.0 && total > warmup, "invalid cosine schedule");
+        Self::CosineWithWarmup { lr, warmup, total }
+    }
+
+    /// The learning rate at a (0-based) global step.
+    pub fn lr_at(&self, step: usize) -> f32 {
+        match *self {
+            Self::Constant { lr } => lr,
+            Self::StepDecay { lr, every, factor } => lr * factor.powi((step / every) as i32),
+            Self::CosineWithWarmup { lr, warmup, total } => {
+                if step < warmup {
+                    lr * (step + 1) as f32 / warmup as f32
+                } else if step >= total {
+                    0.0
+                } else {
+                    let progress = (step - warmup) as f32 / (total - warmup) as f32;
+                    lr * 0.5 * (1.0 + (std::f32::consts::PI * progress).cos())
+                }
+            }
+        }
+    }
+
+    /// Applies the schedule to an optimizer for the given step.
+    pub fn apply(&self, opt: &mut dyn crate::Optimizer, step: usize) {
+        let lr = self.lr_at(step);
+        if lr > 0.0 {
+            opt.set_learning_rate(lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LrSchedule::constant(0.01);
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(10_000), 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::step_decay(1.0, 10, 0.5);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert_eq!(s.lr_at(10), 0.5);
+        assert_eq!(s.lr_at(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_warmup_shape() {
+        let s = LrSchedule::cosine_with_warmup(1.0, 10, 110);
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!(s.lr_at(5) < s.lr_at(9));
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6, "peak at end of warmup");
+        // Midpoint of decay is half the peak.
+        assert!((s.lr_at(60) - 0.5).abs() < 1e-3);
+        assert!(s.lr_at(109) < 0.01);
+        assert_eq!(s.lr_at(110), 0.0);
+        assert_eq!(s.lr_at(10_000), 0.0);
+    }
+
+    #[test]
+    fn apply_updates_optimizer() {
+        let store = crate::ParamStore::new();
+        let mut opt = crate::Adam::new(&store, vec![], 0.5);
+        let s = LrSchedule::step_decay(1.0, 1, 0.1);
+        s.apply(&mut opt, 2);
+        use crate::Optimizer;
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cosine")]
+    fn degenerate_cosine_rejected() {
+        let _ = LrSchedule::cosine_with_warmup(1.0, 10, 10);
+    }
+}

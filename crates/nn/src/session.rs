@@ -1,0 +1,142 @@
+//! Per-step binding between a [`ParamStore`] and an autodiff tape.
+
+use crate::{ParamId, ParamStore};
+use kvec_autograd::{Graph, Var, VarId};
+use kvec_tensor::Tensor;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A single forward/backward step.
+///
+/// A `Session` owns a fresh [`Graph`] and remembers which tape node each
+/// parameter was bound to, so gradients can be routed back to the store
+/// after the reverse sweep. Binding is memoized: a parameter used by several
+/// modules in one step shares one leaf, and its gradient contributions
+/// accumulate naturally on the tape.
+pub struct Session {
+    graph: Graph,
+    bound: RefCell<HashMap<ParamId, VarId>>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Creates a session with an empty tape.
+    pub fn new() -> Self {
+        Self {
+            graph: Graph::new(),
+            bound: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying tape.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Binds a parameter into the tape (once per session) and returns its
+    /// leaf handle.
+    pub fn param(&self, store: &ParamStore, id: ParamId) -> Var<'_> {
+        if let Some(&vid) = self.bound.borrow().get(&id) {
+            return self.graph.var(vid);
+        }
+        let var = self.graph.leaf(store.value(id).clone());
+        self.bound.borrow_mut().insert(id, var.id());
+        var
+    }
+
+    /// Records a non-trainable input tensor on the tape.
+    pub fn input(&self, value: Tensor) -> Var<'_> {
+        self.graph.leaf(value)
+    }
+
+    /// Convenience: a `1 x 1` constant.
+    pub fn scalar(&self, value: f32) -> Var<'_> {
+        self.graph.leaf(Tensor::scalar(value))
+    }
+
+    /// Runs the reverse sweep from a scalar loss.
+    pub fn backward(&self, loss: Var<'_>) {
+        self.graph.backward(loss);
+    }
+
+    /// Copies every bound parameter's tape gradient into the store's
+    /// accumulators. Parameters bound but unreached by the sweep contribute
+    /// nothing.
+    pub fn accumulate_grads(&self, store: &mut ParamStore) {
+        for (&pid, &vid) in self.bound.borrow().iter() {
+            if let Some(g) = self.graph.grad(self.graph.var(vid)) {
+                store.accumulate_grad(pid, &g);
+            }
+        }
+    }
+
+    /// Number of tape nodes recorded so far (diagnostics).
+    pub fn tape_len(&self) -> usize {
+        self.graph.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_binding_is_memoized() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(2.0));
+        let sess = Session::new();
+        let a = sess.param(&store, w);
+        let b = sess.param(&store, w);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(sess.tape_len(), 1);
+    }
+
+    #[test]
+    fn shared_param_grads_accumulate() {
+        // loss = w*x + w*y  =>  dw = x + y
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(3.0));
+        let sess = Session::new();
+        let wv = sess.param(&store, w);
+        let x = sess.scalar(2.0);
+        let y = sess.scalar(5.0);
+        let loss = wv.hadamard(x).add(wv.hadamard(y));
+        sess.backward(loss);
+        sess.accumulate_grads(&mut store);
+        assert_eq!(store.grad(w).item(), 7.0);
+    }
+
+    #[test]
+    fn grads_accumulate_across_sessions() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(1.0));
+        for _ in 0..3 {
+            let sess = Session::new();
+            let wv = sess.param(&store, w);
+            let loss = wv.scale(2.0);
+            sess.backward(loss);
+            sess.accumulate_grads(&mut store);
+        }
+        assert_eq!(store.grad(w).item(), 6.0);
+    }
+
+    #[test]
+    fn unreached_params_contribute_nothing() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(1.0));
+        let u = store.add("u", Tensor::scalar(1.0));
+        let sess = Session::new();
+        let wv = sess.param(&store, w);
+        let _unused = sess.param(&store, u);
+        let loss = wv.scale(1.0);
+        sess.backward(loss);
+        sess.accumulate_grads(&mut store);
+        assert_eq!(store.grad(w).item(), 1.0);
+        assert_eq!(store.grad(u).item(), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Result alias for fallible tensor operations.
+pub type TensorResult<T> = Result<T, TensorError>;
+
+/// Errors raised by checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// The provided buffer length does not match `rows * cols`.
+    DataLength {
+        /// Requested shape.
+        shape: (usize, usize),
+        /// Actual buffer length.
+        len: usize,
+    },
+    /// An index was outside the tensor bounds.
+    OutOfBounds {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound the index must stay under.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::DataLength { shape, len } => write!(
+                f,
+                "data length {len} does not match shape {}x{} (= {})",
+                shape.0,
+                shape.1,
+                shape.0 * shape.1
+            ),
+            TensorError::OutOfBounds { op, index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound}) in `{op}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in `matmul`: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_data_length() {
+        let e = TensorError::DataLength {
+            shape: (2, 2),
+            len: 3,
+        };
+        assert_eq!(e.to_string(), "data length 3 does not match shape 2x2 (= 4)");
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = TensorError::OutOfBounds {
+            op: "row",
+            index: 7,
+            bound: 4,
+        };
+        assert_eq!(e.to_string(), "index 7 out of bounds (< 4) in `row`");
+    }
+}

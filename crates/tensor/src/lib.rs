@@ -1,0 +1,41 @@
+//! # kvec-tensor
+//!
+//! Dense, row-major, 2-D `f32` tensor kernels used by the KVEC reproduction.
+//!
+//! Everything the KVEC paper computes is a matrix or a vector: item embedding
+//! matrices are `T x d`, attention logits are `T x T`, gate activations are
+//! `1 x d`. Restricting the kernel surface to two dimensions keeps every
+//! operation simple enough to be exhaustively tested (including by property
+//! tests) while still covering the entire model.
+//!
+//! Conventions:
+//! - storage is row-major and always contiguous;
+//! - a *row vector* is a `1 x n` tensor, a *column vector* is `n x 1`;
+//! - binary operations have a checked `try_*` form returning
+//!   [`TensorError`] and a panicking convenience form used internally where a
+//!   shape mismatch is a programming error.
+
+mod error;
+mod init;
+mod matmul;
+mod ops;
+mod reduce;
+mod rng;
+mod softmax;
+mod tensor;
+
+pub use error::{TensorError, TensorResult};
+pub use rng::KvecRng;
+pub use softmax::sigmoid_scalar;
+pub use tensor::Tensor;
+
+/// Axis selector for axis-wise reductions on a 2-D tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Reduce over rows: the result has one entry per column (a `1 x cols`
+    /// row vector).
+    Rows,
+    /// Reduce over columns: the result has one entry per row (a `rows x 1`
+    /// column vector).
+    Cols,
+}

@@ -1,0 +1,172 @@
+//! Matrix multiplication kernels.
+//!
+//! The workloads in this reproduction multiply matrices whose dimensions are
+//! a few hundred at most (sequence length x model width), so a cache-friendly
+//! i-k-j loop order over contiguous rows is sufficient; it avoids the strided
+//! inner loop of the naive i-j-k order and vectorizes well.
+
+use crate::{Tensor, TensorError, TensorResult};
+
+impl Tensor {
+    /// `self (m x k) * other (k x n) -> (m x n)`. Errors on inner-dimension
+    /// mismatch.
+    pub fn try_matmul(&self, other: &Tensor) -> TensorResult<Tensor> {
+        if self.cols() != other.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k) = self.shape();
+        let n = other.cols();
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                let o_row = &mut out.data_mut()[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        let _ = k;
+        Ok(out)
+    }
+
+    /// `self * other`; panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.try_matmul(other).expect("matmul")
+    }
+
+    /// `self (k x m)^T * other (k x n) -> (m x n)` without materializing the
+    /// transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> TensorResult<Tensor> {
+        if self.rows() != other.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (k, m) = self.shape();
+        let n = other.cols();
+        let mut out = Tensor::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data_mut()[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self (m x k) * other (n x k)^T -> (m x n)` without materializing the
+    /// transpose. Inner loops are dot products over contiguous rows.
+    pub fn matmul_nt(&self, other: &Tensor) -> TensorResult<Tensor> {
+        if self.cols() != other.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let m = self.rows();
+        let n = other.rows();
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            for j in 0..n {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dot product of two vectors (any shapes with equal element counts).
+    pub fn dot(&self, other: &Tensor) -> TensorResult<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        assert!(a.try_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_agrees_with_explicit_transpose() {
+        let a = Tensor::from_rows(&[vec![1.0, -2.0, 0.5], vec![0.0, 3.0, 1.0]]).unwrap();
+        let got = a.matmul_tn(&a).unwrap(); // a^T a : 3x3
+        let want = a.transpose().matmul(&a);
+        assert!(got.allclose(&want, 1e-6));
+        assert!(a.matmul_tn(&Tensor::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_agrees_with_explicit_transpose() {
+        let a = Tensor::from_rows(&[vec![1.0, -2.0, 0.5], vec![0.0, 3.0, 1.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![2.0, 1.0, -1.0]]).unwrap();
+        let got = a.matmul_nt(&b).unwrap(); // a b^T : 2x1
+        let want = a.matmul(&b.transpose());
+        assert!(got.allclose(&want, 1e-6));
+        assert!(a.matmul_nt(&Tensor::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::row_vector(&[1.0, 2.0, 3.0]);
+        let b = Tensor::col_vector(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert!(a.dot(&Tensor::zeros(1, 2)).is_err());
+    }
+}

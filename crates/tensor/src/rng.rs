@@ -1,0 +1,181 @@
+//! Seeded random number generation.
+//!
+//! Every stochastic component of the reproduction (parameter init, dataset
+//! synthesis, dropout, action sampling) draws from a [`KvecRng`] constructed
+//! from an explicit seed, so every experiment is replayable.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded random number generator wrapping [`StdRng`].
+#[derive(Debug)]
+pub struct KvecRng {
+    inner: StdRng,
+}
+
+impl KvecRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// submodule or dataset shard its own stream.
+    pub fn fork(&mut self) -> Self {
+        Self::seed_from_u64(self.inner.random::<u64>())
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.inner.random::<f32>()
+    }
+
+    /// Standard normal draw via Box-Muller.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        // Box-Muller transform; u1 is kept away from zero for a finite log.
+        let u1: f32 = self.inner.random::<f32>().max(1e-12);
+        let u2: f32 = self.inner.random::<f32>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        mean + std * z
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is invalid");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.inner.random::<f32>() < p
+    }
+
+    /// Raw `u64` draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Samples an index from an unnormalized non-negative weight vector.
+    /// Falls back to the last index on numerical underflow; panics if the
+    /// weights are empty or all zero.
+    pub fn weighted_index(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index on empty weights");
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "weighted_index requires positive total weight");
+        let mut target = self.uniform(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = KvecRng::seed_from_u64(7);
+        let mut b = KvecRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = KvecRng::seed_from_u64(1);
+        let mut b = KvecRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = KvecRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = KvecRng::seed_from_u64(4);
+        let n = 20_000;
+        let draws: Vec<f32> = (0..n).map(|_| r.normal(1.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f32>() / n as f32;
+        let var = draws.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut r = KvecRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range(3, 9);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = KvecRng::seed_from_u64(6);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = KvecRng::seed_from_u64(8);
+        let mut counts = [0usize; 3];
+        for _ in 0..6000 {
+            counts[r.weighted_index(&[1.0, 2.0, 3.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        // Zero-weight entries are never chosen.
+        for _ in 0..100 {
+            assert_eq!(r.weighted_index(&[0.0, 1.0, 0.0]), 1);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = KvecRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = KvecRng::seed_from_u64(10);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the tensor kernels.
+
+use kvec_tensor::{Axis, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data).unwrap())
+    })
+}
+
+fn pair_same_shape(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        let a = proptest::collection::vec(-10.0f32..10.0, r * c);
+        let b = proptest::collection::vec(-10.0f32..10.0, r * c);
+        (a, b).prop_map(move |(a, b)| {
+            (
+                Tensor::from_vec(r, c, a).unwrap(),
+                Tensor::from_vec(r, c, b).unwrap(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in pair_same_shape(8)) {
+        prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-5));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips((a, b) in pair_same_shape(8)) {
+        prop_assert!(a.sub(&b).add(&b).allclose(&a, 1e-4));
+    }
+
+    #[test]
+    fn hadamard_with_ones_is_identity(a in tensor_strategy(8)) {
+        let ones = Tensor::ones(a.rows(), a.cols());
+        prop_assert!(a.hadamard(&ones).allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn transpose_is_an_involution(a in tensor_strategy(8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_identity_left_and_right(a in tensor_strategy(6)) {
+        prop_assert!(Tensor::eye(a.rows()).matmul(&a).allclose(&a, 1e-5));
+        prop_assert!(a.matmul(&Tensor::eye(a.cols())).allclose(&a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree(a in tensor_strategy(6), n in 1usize..6) {
+        // tn: a^T b with b sharing a's row count.
+        let b = Tensor::from_vec(
+            a.rows(),
+            n,
+            (0..a.rows() * n).map(|i| (i as f32 * 0.37).sin()).collect(),
+        ).unwrap();
+        let tn = a.matmul_tn(&b).unwrap();
+        prop_assert!(tn.allclose(&a.transpose().matmul(&b), 1e-4));
+
+        // nt: a c^T with c sharing a's column count.
+        let c = Tensor::from_vec(
+            n,
+            a.cols(),
+            (0..n * a.cols()).map(|i| (i as f32 * 0.53).cos()).collect(),
+        ).unwrap();
+        let nt = a.matmul_nt(&c).unwrap();
+        prop_assert!(nt.allclose(&a.matmul(&c.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_strategy(8)) {
+        let s = a.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", r, sum);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(a in tensor_strategy(8)) {
+        let s = a.softmax_rows();
+        for r in 0..a.rows() {
+            prop_assert_eq!(a.argmax_row(r), s.argmax_row(r));
+        }
+    }
+
+    #[test]
+    fn log_softmax_exp_matches_softmax(a in tensor_strategy(6)) {
+        let ls = a.log_softmax_rows().map(f32::exp);
+        prop_assert!(ls.allclose(&a.softmax_rows(), 1e-4));
+    }
+
+    #[test]
+    fn axis_sums_total_matches_full_sum(a in tensor_strategy(8)) {
+        let total = a.sum();
+        prop_assert!((a.sum_axis(Axis::Rows).sum() - total).abs() < 1e-3 + total.abs() * 1e-5);
+        prop_assert!((a.sum_axis(Axis::Cols).sum() - total).abs() < 1e-3 + total.abs() * 1e-5);
+    }
+
+    #[test]
+    fn concat_then_slice_round_trips((a, b) in pair_same_shape(6)) {
+        let cat = Tensor::concat_rows(&[&a, &b]).unwrap();
+        prop_assert_eq!(cat.slice_rows(0, a.rows()).unwrap(), a.clone());
+        prop_assert_eq!(cat.slice_rows(a.rows(), cat.rows()).unwrap(), b.clone());
+        let cat = Tensor::concat_cols(&[&a, &b]).unwrap();
+        prop_assert_eq!(cat.slice_cols(0, a.cols()).unwrap(), a.clone());
+        prop_assert_eq!(cat.slice_cols(a.cols(), cat.cols()).unwrap(), b);
+    }
+
+    #[test]
+    fn push_row_equals_concat(a in tensor_strategy(6)) {
+        let mut grown = Tensor::zeros(0, 0);
+        for r in 0..a.rows() {
+            grown.push_row(a.row(r));
+        }
+        prop_assert_eq!(grown, a);
+    }
+
+    #[test]
+    fn frobenius_norm_is_scale_homogeneous(a in tensor_strategy(6), s in -4.0f32..4.0) {
+        let lhs = a.scale(s).frobenius_norm();
+        let rhs = s.abs() * a.frobenius_norm();
+        prop_assert!((lhs - rhs).abs() < 1e-2 + rhs * 1e-4);
+    }
+}

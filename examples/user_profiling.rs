@@ -1,0 +1,63 @@
+//! E-commerce / recommendation user profiling — the paper's second
+//! motivating scenario: infer a user's profile (here, a binary class) from
+//! as few interaction records as possible, so new users get personalized
+//! treatment quickly.
+//!
+//! Trains KVEC at two earliness settings on MovieLens-like rating
+//! sequences and contrasts how many ratings each needs per user.
+//!
+//! Run with: `cargo run --release --example user_profiling`
+
+use kvec::train::Trainer;
+use kvec::{evaluate, KvecConfig, KvecModel};
+use kvec_data::synth::{generate_movielens, MovieLensConfig};
+use kvec_data::Dataset;
+use kvec_tensor::KvecRng;
+
+fn train_at_beta(ds: &Dataset, beta: f32, seed: u64) -> kvec::EvalReport {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let mut cfg = KvecConfig::for_schema(&ds.schema, ds.num_classes);
+    cfg.d_model = 32;
+    cfg.fusion_hidden = 32;
+    cfg.d_ff = 64;
+    let cfg = cfg.with_beta(beta);
+    let mut model = KvecModel::new(&cfg, &mut rng);
+    let mut trainer = Trainer::new(&cfg, &model);
+    for _ in 0..15 {
+        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+    }
+    evaluate(&model, &ds.test)
+}
+
+fn main() {
+    let mut rng = KvecRng::seed_from_u64(3);
+    let data_cfg = MovieLensConfig::movielens_1m(120).scaled_len(0.25);
+    let pool = generate_movielens(&data_cfg, &mut rng);
+    let ds = Dataset::from_pool("movielens", data_cfg.schema(), 2, pool, 4, &mut rng);
+    println!(
+        "user pool: {} users, avg {:.0} ratings each\n",
+        ds.total_keys(),
+        ds.total_items() as f32 / ds.total_keys() as f32
+    );
+
+    for (label, beta) in [("eager profiling (beta = 0.5)", 0.5f32), ("patient profiling (beta = 0.0)", 0.0)] {
+        let report = train_at_beta(&ds, beta, 11);
+        println!("{label}:");
+        println!("  accuracy  {:.3}", report.accuracy);
+        println!("  earliness {:.3}", report.earliness);
+        let mean_items: f32 = report
+            .outcomes
+            .iter()
+            .map(|o| o.n_k as f32)
+            .sum::<f32>()
+            / report.outcomes.len().max(1) as f32;
+        println!("  mean ratings observed per user: {mean_items:.1}");
+        println!("  harmonic mean (accuracy vs earliness): {:.3}\n", report.hm);
+    }
+
+    println!(
+        "The eager profile classifies users from a handful of ratings; the \
+         patient one waits for more evidence — the beta knob trades the two \
+         off (paper Fig. 8b)."
+    );
+}

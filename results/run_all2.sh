@@ -1,0 +1,15 @@
+#!/bin/bash
+set -u
+cd /root/repo
+BIN=target/release
+for exp in table1_stats fig8_sensitivity fig9_ablation fig10_attention fig11_halting fig12_concurrency; do
+  echo "=== $exp starting $(date +%T) ==="
+  $BIN/$exp > results/$exp.txt 2>results/$exp.err
+  echo "=== $exp done $(date +%T) (exit $?) ==="
+done
+echo "=== fig3_6 starting $(date +%T) ==="
+$BIN/fig3_6_performance --epochs 25 > results/fig3_6_performance.txt 2>results/fig3_6_performance.err
+echo "=== fig3_6 done $(date +%T) ==="
+$BIN/fig7_hm --epochs 25 > results/fig7_hm.txt 2>results/fig7_hm.err
+echo "=== fig7 done $(date +%T) ==="
+echo ALL_EXPERIMENTS_DONE_V2

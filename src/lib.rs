@@ -1,0 +1,14 @@
+//! # kvec-repro
+//!
+//! Umbrella crate for the KVEC reproduction. Re-exports every workspace
+//! crate so examples and integration tests can depend on a single name.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use kvec;
+pub use kvec_autograd as autograd;
+pub use kvec_baselines as baselines;
+pub use kvec_data as data;
+pub use kvec_nn as nn;
+pub use kvec_tensor as tensor;

@@ -1,0 +1,100 @@
+//! All four baselines must run through the shared `EarlyClassifier` trait
+//! on the same data KVEC trains on — the contract the figure harness
+//! relies on.
+
+use kvec_baselines::{
+    BaselineConfig, Earliest, EarlyClassifier, SrnConfidence, SrnEarliest, SrnFixed,
+};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::{Dataset, TangledSequence};
+use kvec_tensor::KvecRng;
+
+fn dataset(seed: u64) -> Dataset {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = TrafficConfig {
+        num_flows: 30,
+        num_classes: 2,
+        mean_len: 12,
+        min_len: 10,
+        max_len: 16,
+        sig_noise: 0.0,
+        ..TrafficConfig::traffic_app(0)
+    };
+    let pool = generate_traffic(&cfg, &mut rng);
+    Dataset::from_pool("bl", cfg.schema(), 2, pool, 4, &mut rng)
+}
+
+fn all_methods(cfg: &BaselineConfig, rng: &mut KvecRng) -> Vec<Box<dyn EarlyClassifier>> {
+    vec![
+        Box::new(Earliest::new(cfg, rng)),
+        Box::new(SrnEarliest::new(cfg, rng)),
+        Box::new(SrnFixed::new(cfg, rng)),
+        Box::new(SrnConfidence::new(cfg, rng)),
+    ]
+}
+
+#[test]
+fn every_baseline_trains_and_reports_through_the_trait() {
+    let ds = dataset(1);
+    let cfg = BaselineConfig::tiny(&ds.schema, 2);
+    let mut rng = KvecRng::seed_from_u64(2);
+    let n_test: usize = ds.test.iter().map(TangledSequence::num_keys).sum();
+
+    for mut method in all_methods(&cfg, &mut rng) {
+        let loss = method.train_epoch(&ds.train, &mut rng);
+        assert!(loss.is_finite(), "{} loss not finite", method.name());
+        let report = method.evaluate(&ds.test);
+        assert_eq!(
+            report.outcomes.len(),
+            n_test,
+            "{} missed test keys",
+            method.name()
+        );
+        assert!((0.0..=1.0).contains(&report.accuracy), "{}", method.name());
+        assert!(
+            report.earliness > 0.0 && report.earliness <= 1.0,
+            "{} earliness {}",
+            method.name(),
+            report.earliness
+        );
+        for o in &report.outcomes {
+            assert!(o.n_k >= 1 && o.n_k <= o.seq_len, "{}", method.name());
+        }
+    }
+}
+
+#[test]
+fn baselines_learn_the_noiseless_signatures() {
+    // With zero signature noise the task is easy; after a few epochs every
+    // trainable baseline should beat chance (0.5) clearly.
+    let ds = dataset(3);
+    let cfg = BaselineConfig::tiny(&ds.schema, 2).with_lambda(0.05);
+    let mut rng = KvecRng::seed_from_u64(4);
+    for mut method in all_methods(&cfg, &mut rng) {
+        for _ in 0..10 {
+            method.train_epoch(&ds.train, &mut rng);
+        }
+        let report = method.evaluate(&ds.test);
+        assert!(
+            report.accuracy >= 0.6,
+            "{} accuracy {} after training",
+            method.name(),
+            report.accuracy
+        );
+    }
+}
+
+#[test]
+fn baseline_names_are_the_paper_names() {
+    let ds = dataset(5);
+    let cfg = BaselineConfig::tiny(&ds.schema, 2);
+    let mut rng = KvecRng::seed_from_u64(6);
+    let names: Vec<&str> = all_methods(&cfg, &mut rng)
+        .iter()
+        .map(|m| m.name())
+        .collect();
+    assert_eq!(
+        names,
+        vec!["EARLIEST", "SRN-EARLIEST", "SRN-Fixed", "SRN-Confidence"]
+    );
+}

@@ -1,0 +1,107 @@
+//! End-to-end pipeline tests: data generation -> training -> evaluation,
+//! across crates.
+
+use kvec::train::Trainer;
+use kvec::{evaluate, KvecConfig, KvecModel};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::Dataset;
+use kvec_tensor::KvecRng;
+
+fn small_traffic(seed: u64, num_flows: usize) -> Dataset {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = TrafficConfig {
+        num_flows,
+        num_classes: 3,
+        mean_len: 14,
+        min_len: 10,
+        max_len: 20,
+        sig_noise: 0.02,
+        // Fully class-specific signatures: this suite tests the learning
+        // machinery, not the hardness of the shared-handshake variant.
+        shared_prefix: 0,
+        ..TrafficConfig::traffic_app(0)
+    };
+    let pool = generate_traffic(&cfg, &mut rng);
+    Dataset::from_pool("e2e", cfg.schema(), 3, pool, 4, &mut rng)
+}
+
+fn trained_model(ds: &Dataset, beta: f32, epochs: usize, seed: u64) -> KvecModel {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes).with_beta(beta);
+    let mut model = KvecModel::new(&cfg, &mut rng);
+    let mut trainer = Trainer::new(&cfg, &model);
+    for _ in 0..epochs {
+        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+    }
+    model
+}
+
+#[test]
+fn kvec_beats_chance_after_training() {
+    let ds = small_traffic(1, 60);
+    let model = trained_model(&ds, 0.1, 12, 2);
+    let report = evaluate(&model, &ds.test);
+    // 3 classes => chance is 1/3; trained KVEC must clearly beat it.
+    assert!(
+        report.accuracy > 0.5,
+        "accuracy {} barely above chance",
+        report.accuracy
+    );
+    assert!(report.earliness > 0.0 && report.earliness <= 1.0);
+    assert!(!model.store.has_non_finite());
+}
+
+#[test]
+fn beta_trades_earliness_for_observation() {
+    let ds = small_traffic(3, 48);
+    let eager = evaluate(&trained_model(&ds, 1.0, 8, 4), &ds.test).earliness;
+    let patient = evaluate(&trained_model(&ds, -0.05, 8, 4), &ds.test).earliness;
+    assert!(
+        eager < patient,
+        "beta=1.0 earliness {eager} should be below beta=-0.05 earliness {patient}"
+    );
+}
+
+#[test]
+fn correlations_help_on_tangled_data() {
+    // With heavy signature noise, a single flow's own prefix is ambiguous;
+    // cross-flow correlations should not hurt and typically help.
+    let ds = small_traffic(5, 60);
+    let full = evaluate(&trained_model(&ds, 0.05, 12, 6), &ds.test);
+
+    let mut rng = KvecRng::seed_from_u64(6);
+    let mut cfg = KvecConfig::tiny(&ds.schema, ds.num_classes).with_beta(0.05);
+    cfg.use_key_correlation = false;
+    cfg.use_value_correlation = false;
+    let mut ablated = KvecModel::new(&cfg, &mut rng);
+    let mut trainer = Trainer::new(&cfg, &ablated);
+    for _ in 0..12 {
+        trainer.train_epoch(&mut ablated, &ds.train, &mut rng);
+    }
+    let bare = evaluate(&ablated, &ds.test);
+
+    // The fully ablated model treats every item in isolation. On this
+    // trivially separable data (noise-free per-flow signatures) the
+    // cross-sequence context cannot add signal, so the check is a sanity
+    // bound: correlations must not be *catastrophic*. The figure harness
+    // (fig9_ablation) probes the regime where they genuinely help.
+    assert!(
+        full.hm >= bare.hm - 0.2,
+        "full KVEC hm {} catastrophically below ablated hm {}",
+        full.hm,
+        bare.hm
+    );
+}
+
+#[test]
+fn evaluation_covers_all_test_keys_exactly_once() {
+    let ds = small_traffic(7, 40);
+    let model = trained_model(&ds, 0.1, 2, 8);
+    let report = evaluate(&model, &ds.test);
+    let expected: usize = ds.test.iter().map(|t| t.num_keys()).sum();
+    assert_eq!(report.outcomes.len(), expected);
+    let mut keys: Vec<_> = report.outcomes.iter().map(|o| o.key).collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), expected, "duplicate key outcome");
+}

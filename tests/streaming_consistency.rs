@@ -1,0 +1,93 @@
+//! The streaming inference engine must agree exactly with the
+//! teacher-forced evaluation path on a *trained* model — this is the
+//! contract that makes the training-time full forward a valid surrogate
+//! for deployment-time incremental inference.
+
+use kvec::eval::evaluate_scenario;
+use kvec::train::Trainer;
+use kvec::{KvecConfig, KvecModel, StreamingEngine};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::Dataset;
+use kvec_tensor::KvecRng;
+
+fn setup(seed: u64) -> (KvecModel, Dataset) {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = TrafficConfig {
+        num_flows: 40,
+        num_classes: 3,
+        mean_len: 14,
+        min_len: 10,
+        max_len: 18,
+        ..TrafficConfig::traffic_fg(0)
+    };
+    let pool = generate_traffic(&cfg, &mut rng);
+    let ds = Dataset::from_pool("stream", cfg.schema(), 3, pool, 4, &mut rng);
+
+    let mcfg = KvecConfig::tiny(&ds.schema, 3).with_beta(0.1);
+    let mut model = KvecModel::new(&mcfg, &mut rng);
+    let mut trainer = Trainer::new(&mcfg, &model);
+    for _ in 0..6 {
+        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+    }
+    (model, ds)
+}
+
+#[test]
+fn trained_streaming_matches_batch_on_every_test_scenario() {
+    let (model, ds) = setup(11);
+    for scenario in ds.test.iter().chain(&ds.val) {
+        let batch = evaluate_scenario(&model, scenario);
+        let decisions = StreamingEngine::run(&model, scenario);
+        assert_eq!(decisions.len(), batch.len());
+        let stream: std::collections::BTreeMap<_, _> =
+            decisions.iter().map(|d| (d.key, d)).collect();
+        for outcome in &batch {
+            let d = stream[&outcome.key];
+            assert_eq!(d.pred, outcome.pred, "prediction mismatch {:?}", outcome.key);
+            assert_eq!(d.n_items, outcome.n_k, "halt mismatch {:?}", outcome.key);
+        }
+    }
+}
+
+#[test]
+fn streaming_decisions_are_causal() {
+    // A decision emitted at stream position p may only depend on items
+    // 0..=p: replaying a truncated stream must reproduce every decision
+    // whose position is inside the truncation.
+    let (model, ds) = setup(13);
+    let scenario = &ds.test[0];
+    let full = StreamingEngine::run(&model, scenario);
+
+    let cut = scenario.len() / 2;
+    let prefix = scenario.prefix(cut);
+    let mut engine = StreamingEngine::new(&model);
+    let mut early_decisions = Vec::new();
+    for item in &prefix.items {
+        if let Some(d) = engine.feed(item) {
+            early_decisions.push(d);
+        }
+    }
+    for d in &early_decisions {
+        let in_full = full
+            .iter()
+            .find(|f| f.key == d.key && f.halted_by_policy)
+            .expect("policy decision must also exist in the full replay");
+        assert_eq!(d.pred, in_full.pred);
+        assert_eq!(d.n_items, in_full.n_items);
+        assert_eq!(d.global_pos, in_full.global_pos);
+    }
+}
+
+#[test]
+fn engine_throughput_state_grows_linearly() {
+    // Smoke check on cache bookkeeping: items_seen counts every fed item,
+    // halted keys never exceed key count.
+    let (model, ds) = setup(17);
+    let scenario = &ds.test[0];
+    let mut engine = StreamingEngine::new(&model);
+    for (i, item) in scenario.items.iter().enumerate() {
+        let _ = engine.feed(item);
+        assert_eq!(engine.items_seen(), i + 1);
+        assert!(engine.halted_count() <= scenario.num_keys());
+    }
+}
