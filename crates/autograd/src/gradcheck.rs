@@ -80,12 +80,7 @@ fn eval(input: &Tensor, f: impl Fn(&Graph, Var<'_>) -> f32) -> f32 {
 }
 
 /// Asserts that a gradient check passes within tolerance.
-pub fn assert_grad_close(
-    input: &Tensor,
-    eps: f32,
-    tol: f32,
-    f: impl Fn(&Graph, Var<'_>) -> f32,
-) {
+pub fn assert_grad_close(input: &Tensor, eps: f32, tol: f32, f: impl Fn(&Graph, Var<'_>) -> f32) {
     let report = check_scalar_fn(input, eps, f);
     assert!(
         report.max_rel_err <= tol,
@@ -158,7 +153,11 @@ mod tests {
             x.concat_cols(x.square()).sum_all().value().item()
         });
         assert_grad_close(&rand_input(2, 3, 12), 1e-3, 1e-2, |_g, x| {
-            x.concat_rows(x.scale(2.0)).square().sum_all().value().item()
+            x.concat_rows(x.scale(2.0))
+                .square()
+                .sum_all()
+                .value()
+                .item()
         });
     }
 
@@ -196,7 +195,11 @@ mod tests {
     #[test]
     fn grad_gather_rows() {
         assert_grad_close(&rand_input(4, 3, 16), 1e-3, 1e-2, |_g, x| {
-            x.gather_rows(&[0, 2, 2, 3]).square().sum_all().value().item()
+            x.gather_rows(&[0, 2, 2, 3])
+                .square()
+                .sum_all()
+                .value()
+                .item()
         });
     }
 

@@ -343,12 +343,7 @@ impl Graph {
                     let g_row = grad.row(r);
                     let y_row = value.row(r);
                     let g_mean = g_row.iter().sum::<f32>() / n;
-                    let gy_mean = g_row
-                        .iter()
-                        .zip(y_row)
-                        .map(|(g, y)| g * y)
-                        .sum::<f32>()
-                        / n;
+                    let gy_mean = g_row.iter().zip(y_row).map(|(g, y)| g * y).sum::<f32>() / n;
                     for (c, out) in gx.row_mut(r).iter_mut().enumerate() {
                         *out = (g_row[c] - g_mean - y_row[c] * gy_mean) / sigma;
                     }

@@ -187,9 +187,9 @@ impl<'g> Var<'g> {
     pub fn concat_cols(&self, other: Var<'g>) -> Var<'g> {
         self.same_graph(other);
         let v = self.graph.with_value(*self, |a| {
-            other
-                .graph
-                .with_value(other, |b| Tensor::concat_cols(&[a, b]).expect("concat_cols"))
+            other.graph.with_value(other, |b| {
+                Tensor::concat_cols(&[a, b]).expect("concat_cols")
+            })
         });
         self.unary(v, Op::ConcatCols(self.id.0, other.id.0))
     }
@@ -198,9 +198,9 @@ impl<'g> Var<'g> {
     pub fn concat_rows(&self, other: Var<'g>) -> Var<'g> {
         self.same_graph(other);
         let v = self.graph.with_value(*self, |a| {
-            other
-                .graph
-                .with_value(other, |b| Tensor::concat_rows(&[a, b]).expect("concat_rows"))
+            other.graph.with_value(other, |b| {
+                Tensor::concat_rows(&[a, b]).expect("concat_rows")
+            })
         });
         self.unary(v, Op::ConcatRows(self.id.0, other.id.0))
     }
@@ -297,9 +297,7 @@ impl<'g> Var<'g> {
 
     /// Extracts element `(r, c)` as a `1 x 1` node.
     pub fn pick(&self, r: usize, c: usize) -> Var<'g> {
-        let v = self
-            .graph
-            .with_value(*self, |a| Tensor::scalar(a[(r, c)]));
+        let v = self.graph.with_value(*self, |a| Tensor::scalar(a[(r, c)]));
         self.unary(v, Op::Pick(self.id.0, r, c))
     }
 

@@ -10,7 +10,9 @@ use crate::{BaselineConfig, EarlyClassifier};
 use kvec::eval::{report_from_outcomes, EvalReport, KeyOutcome};
 use kvec_autograd::Var;
 use kvec_data::TangledSequence;
-use kvec_nn::{clip_global_norm, Adam, Embedding, LstmCell, Optimizer, ParamId, ParamStore, Session};
+use kvec_nn::{
+    clip_global_norm, Adam, Embedding, LstmCell, Optimizer, ParamId, ParamStore, Session,
+};
 use kvec_tensor::{KvecRng, Tensor};
 
 /// The EARLIEST baseline.
@@ -36,16 +38,20 @@ impl Earliest {
             .iter()
             .enumerate()
             .map(|(f, &card)| {
-                Embedding::new(&mut store, &format!("earliest.field{f}"), card, cfg.d_model, rng)
+                Embedding::new(
+                    &mut store,
+                    &format!("earliest.field{f}"),
+                    card,
+                    cfg.d_model,
+                    rng,
+                )
             })
             .collect();
         let lstm = LstmCell::new(&mut store, "earliest.lstm", cfg.d_model, cfg.d_model, rng);
         let heads = RlHeads::new(&mut store, "earliest", cfg, rng);
 
-        let mut model_ids: Vec<ParamId> = field_tables
-            .iter()
-            .flat_map(Embedding::param_ids)
-            .collect();
+        let mut model_ids: Vec<ParamId> =
+            field_tables.iter().flat_map(Embedding::param_ids).collect();
         model_ids.extend(lstm.param_ids());
         model_ids.extend(heads.model_param_ids());
         let baseline_ids = heads.baseline_param_ids();
@@ -110,8 +116,8 @@ impl Earliest {
     fn train_sequence(&mut self, seq: &SeqSample, rng: &mut KvecRng) -> f32 {
         let sess = Session::new();
         let states = self.states(&sess, seq);
-        let forced_n = (self.epochs_done < self.cfg.warmup_epochs)
-            .then(|| rng.range(1, states.len() + 1));
+        let forced_n =
+            (self.epochs_done < self.cfg.warmup_epochs).then(|| rng.range(1, states.len() + 1));
         let ep = sample_episode(
             &sess,
             &self.store,

@@ -17,7 +17,12 @@ pub struct RlHeads {
 
 impl RlHeads {
     /// Creates the heads.
-    pub fn new(store: &mut ParamStore, name: &str, cfg: &BaselineConfig, rng: &mut KvecRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: &BaselineConfig,
+        rng: &mut KvecRng,
+    ) -> Self {
         Self {
             policy: Linear::new(store, &format!("{name}.policy"), cfg.d_model, 1, rng),
             baseline_hidden: Linear::new(
@@ -123,9 +128,7 @@ pub fn sample_episode<'s>(
     forced_n: Option<usize>,
     rng: &mut KvecRng,
 ) -> EpisodeLosses<'s> {
-    use kvec_nn::loss::{
-        cross_entropy_logits, log_one_minus_sigmoid, log_sigmoid, squared_error,
-    };
+    use kvec_nn::loss::{cross_entropy_logits, log_one_minus_sigmoid, log_sigmoid, squared_error};
     assert!(!states.is_empty(), "episode needs at least one state");
     let warmup = forced_n.is_some();
     let mut n_k = forced_n.map_or(states.len(), |n| n.clamp(1, states.len()));

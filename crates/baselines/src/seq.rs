@@ -72,12 +72,8 @@ mod tests {
 
     #[test]
     fn multiple_scenarios_concatenate() {
-        let make = |k: u64| {
-            TangledSequence::new(
-                vec![Item::new(Key(k), vec![0], 0)],
-                vec![(Key(k), 0)],
-            )
-        };
+        let make =
+            |k: u64| TangledSequence::new(vec![Item::new(Key(k), vec![0], 0)], vec![(Key(k), 0)]);
         let seqs = sequences_of(&[make(1), make(2), make(3)]);
         assert_eq!(seqs.len(), 3);
     }

@@ -20,7 +20,12 @@ pub struct SrnEncoder {
 
 impl SrnEncoder {
     /// Creates the encoder.
-    pub fn new(store: &mut ParamStore, name: &str, cfg: &BaselineConfig, rng: &mut KvecRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: &BaselineConfig,
+        rng: &mut KvecRng,
+    ) -> Self {
         let field_tables = cfg
             .field_cardinalities
             .iter()
@@ -126,7 +131,9 @@ mod tests {
     }
 
     fn values(n: usize) -> Vec<Vec<u32>> {
-        (0..n).map(|i| vec![(i % 2) as u32, (i % 4) as u32]).collect()
+        (0..n)
+            .map(|i| vec![(i % 2) as u32, (i % 4) as u32])
+            .collect()
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl SrnConfidence {
 
     fn train_sequence(&mut self, seq: &SeqSample, rng: &mut KvecRng) -> f32 {
         let sess = Session::new();
-        let e = self.encoder.encode(&sess, &self.store, &seq.values, Some(rng));
+        let e = self
+            .encoder
+            .encode(&sess, &self.store, &seq.values, Some(rng));
         // Supervise every prefix, averaged, so confidence is meaningful at
         // any halting point.
         let mut loss_acc: Option<Var<'_>> = None;

@@ -49,11 +49,13 @@ impl SrnEarliest {
 
     fn train_sequence(&mut self, seq: &SeqSample, rng: &mut KvecRng) -> f32 {
         let sess = Session::new();
-        let e = self.encoder.encode(&sess, &self.store, &seq.values, Some(rng));
+        let e = self
+            .encoder
+            .encode(&sess, &self.store, &seq.values, Some(rng));
         // State after observing i+1 items = causally refined row i.
         let states: Vec<_> = (0..seq.len()).map(|i| e.row(i)).collect();
-        let forced_n = (self.epochs_done < self.cfg.warmup_epochs)
-            .then(|| rng.range(1, states.len() + 1));
+        let forced_n =
+            (self.epochs_done < self.cfg.warmup_epochs).then(|| rng.range(1, states.len() + 1));
         let ep = sample_episode(
             &sess,
             &self.store,

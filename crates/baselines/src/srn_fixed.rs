@@ -90,10 +90,7 @@ impl EarlyClassifier for SrnFixed {
             let state: Tensor = self
                 .encoder
                 .encode_last_tensor(&self.store, &seq.values[..n]);
-            let pred = self
-                .classifier
-                .apply(&self.store, &state)
-                .argmax_row(0);
+            let pred = self.classifier.apply(&self.store, &state).argmax_row(0);
             outcomes.push(KeyOutcome {
                 key: seq.key,
                 label: seq.label,

@@ -91,5 +91,10 @@ fn bench_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode_forward, bench_train_step, bench_streaming);
+criterion_group!(
+    benches,
+    bench_encode_forward,
+    bench_train_step,
+    bench_streaming
+);
 criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Regenerates `BENCH_parallel.json`: the serial-vs-parallel performance
+//! trajectory of the compute backend — matmul GFLOP/s (naive reference vs
+//! register-tiled kernel), attention step latency, and epoch wall-clock,
+//! each at 1/2/4/8 threads.
+//!
+//! Timings are best-of-N (minimum over repetitions), the standard way to
+//! suppress scheduler noise for short kernels. Run with `--release`:
+//!
+//! ```text
+//! cargo run --release -p kvec-bench --bin bench_parallel
+//! ```
+
+use kvec::train::Trainer;
+use kvec::{KvecConfig, KvecModel};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::Dataset;
+use kvec_nn::{causal_mask, AttentionBlock, ParamStore, Session};
+use kvec_tensor::{parallel, KvecRng, Tensor};
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Best-of-`reps` wall-clock of `f`, in milliseconds.
+fn time_best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn gflops(m: usize, k: usize, n: usize, ms: f64) -> f64 {
+    (2.0 * m as f64 * k as f64 * n as f64) / (ms * 1e-3) / 1e9
+}
+
+fn matmul_sweep() -> serde_json::Value {
+    let mut out = Vec::new();
+    for n in [128usize, 256, 512] {
+        let reps = if n >= 512 { 5 } else { 20 };
+        let mut rng = KvecRng::seed_from_u64(1);
+        let a = Tensor::rand_uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(n, n, -1.0, 1.0, &mut rng);
+        let ref_ms = time_best_ms(reps, || {
+            black_box(a.matmul_reference(&b).unwrap());
+        });
+        let blocked: Vec<_> = THREADS
+            .iter()
+            .map(|&t| {
+                let ms = time_best_ms(reps, || {
+                    parallel::with_threads(t, || black_box(a.matmul(&b)));
+                });
+                json!({
+                    "threads": t,
+                    "ms": ms,
+                    "gflops": gflops(n, n, n, ms),
+                    "speedup_vs_reference": ref_ms / ms,
+                })
+            })
+            .collect();
+        eprintln!("matmul {n}^3: reference {ref_ms:.3} ms");
+        out.push(json!({
+            "shape": [n, n, n],
+            "reference_ms": ref_ms,
+            "reference_gflops": gflops(n, n, n, ref_ms),
+            "blocked": blocked,
+        }));
+    }
+    serde_json::Value::Array(out)
+}
+
+fn attention_sweep() -> serde_json::Value {
+    let (t_len, d_model, heads) = (256usize, 64usize, 4usize);
+    let mut store = ParamStore::new();
+    let mut rng = KvecRng::seed_from_u64(2);
+    let blk = AttentionBlock::with_heads(
+        &mut store, "bench", d_model, d_model, 0.0, true, heads, &mut rng,
+    );
+    let x = Tensor::rand_uniform(t_len, d_model, -1.0, 1.0, &mut rng);
+    let mask = causal_mask(t_len);
+    let step = |threads: usize| {
+        time_best_ms(10, || {
+            parallel::with_threads(threads, || {
+                let sess = Session::new();
+                let xv = sess.input(x.clone());
+                black_box(blk.forward(&sess, &store, xv, &mask, None).0.value());
+            });
+        })
+    };
+    let serial_ms = step(1);
+    eprintln!("attention step t={t_len}: serial {serial_ms:.3} ms");
+    let sweep: Vec<_> = THREADS
+        .iter()
+        .map(|&t| {
+            let ms = step(t);
+            json!({"threads": t, "ms": ms, "speedup_vs_serial": serial_ms / ms})
+        })
+        .collect();
+    json!({
+        "t": t_len,
+        "d_model": d_model,
+        "heads": heads,
+        "serial_ms": serial_ms,
+        "parallel": sweep,
+    })
+}
+
+fn epoch_sweep() -> serde_json::Value {
+    let mut rng = KvecRng::seed_from_u64(3);
+    let dcfg = TrafficConfig {
+        num_flows: 48,
+        num_classes: 2,
+        mean_len: 16,
+        min_len: 12,
+        max_len: 24,
+        ..TrafficConfig::traffic_app(0)
+    };
+    let pool = generate_traffic(&dcfg, &mut rng);
+    let ds = Dataset::from_pool("bench", dcfg.schema(), 2, pool, 4, &mut rng);
+    let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
+
+    // One fresh model + trainer per worker count so every measurement does
+    // the same amount of work from the same state.
+    let epoch_ms = |workers: usize| {
+        let mut rng = KvecRng::seed_from_u64(4);
+        let mut model = KvecModel::new(&cfg, &mut rng);
+        let mut trainer = Trainer::new(&cfg, &model);
+        time_best_ms(3, || {
+            black_box(trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, workers));
+        })
+    };
+    let serial_ms = epoch_ms(1);
+    eprintln!(
+        "epoch ({} scenarios): serial {serial_ms:.1} ms",
+        ds.train.len()
+    );
+    let sweep: Vec<_> = THREADS
+        .iter()
+        .map(|&w| {
+            let ms = epoch_ms(w);
+            json!({"workers": w, "ms": ms, "speedup_vs_serial": serial_ms / ms})
+        })
+        .collect();
+    json!({
+        "scenarios": ds.train.len(),
+        "serial_ms": serial_ms,
+        "parallel": sweep,
+    })
+}
+
+fn main() {
+    let report = json!({
+        "generated_by": "cargo run --release -p kvec-bench --bin bench_parallel",
+        "host": {"available_parallelism": parallel::hardware_threads()},
+        "matmul": matmul_sweep(),
+        "attention_step": attention_sweep(),
+        "epoch": epoch_sweep(),
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_parallel.json", &pretty).expect("write BENCH_parallel.json");
+    println!("{pretty}");
+    eprintln!("wrote BENCH_parallel.json");
+}

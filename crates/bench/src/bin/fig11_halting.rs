@@ -62,7 +62,9 @@ fn run(ds: &Dataset, tag: &str, epochs: usize, seed: u64) {
     histogram("KVEC", &positions, max_len);
     println!(
         "{:<28} accuracy {:.3}, mean halt {:.1}",
-        "", report.accuracy, mean(&positions)
+        "",
+        report.accuracy,
+        mean(&positions)
     );
 
     // KVEC without value correlation.
@@ -73,7 +75,9 @@ fn run(ds: &Dataset, tag: &str, epochs: usize, seed: u64) {
     histogram("KVEC w/o Value Correlation", &positions, max_len);
     println!(
         "{:<28} accuracy {:.3}, mean halt {:.1}",
-        "", report.accuracy, mean(&positions)
+        "",
+        report.accuracy,
+        mean(&positions)
     );
 }
 

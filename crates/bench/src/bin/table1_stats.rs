@@ -25,7 +25,10 @@ fn main() {
 
     let ustc = TrafficConfig::ustc_tfc2016(3200);
     let pool = generate_traffic(&ustc, &mut rng);
-    println!("{}", compute_stats(&pool, &ustc.schema()).table_row(ustc.name));
+    println!(
+        "{}",
+        compute_stats(&pool, &ustc.schema()).table_row(ustc.name)
+    );
 
     let ml = MovieLensConfig::movielens_1m(6040);
     let pool = generate_movielens(&ml, &mut rng);
@@ -40,7 +43,10 @@ fn main() {
 
     let app = TrafficConfig::traffic_app(5000);
     let pool = generate_traffic(&app, &mut rng);
-    println!("{}", compute_stats(&pool, &app.schema()).table_row(app.name));
+    println!(
+        "{}",
+        compute_stats(&pool, &app.schema()).table_row(app.name)
+    );
 
     // Synthetic-Traffic: half early-stop, half late-stop, length 100.
     let early = StopSignalConfig::paper(5000, StopPosition::Early);

@@ -16,7 +16,9 @@ use kvec_tensor::KvecRng;
 
 /// True when `KVEC_FAST=1` is set (smoke-test scale).
 pub fn fast_mode() -> bool {
-    std::env::var("KVEC_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("KVEC_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 fn scale(normal: usize, fast: usize) -> usize {
@@ -129,12 +131,7 @@ pub fn by_name(name: &str, seed: u64) -> Dataset {
 }
 
 /// All four real-dataset names, in the paper's figure order.
-pub const REAL_DATASETS: [&str; 4] = [
-    "ustc-tfc2016",
-    "movielens-1m",
-    "traffic-fg",
-    "traffic-app",
-];
+pub const REAL_DATASETS: [&str; 4] = ["ustc-tfc2016", "movielens-1m", "traffic-fg", "traffic-app"];
 
 #[cfg(test)]
 mod tests {

@@ -277,11 +277,7 @@ mod tests {
         for m in Method::all() {
             let knob = m.knob_grid()[2];
             let r = train_and_eval(m, knob, &ds, 1, 42);
-            assert!(
-                !r.outcomes.is_empty(),
-                "{} produced no outcomes",
-                m.name()
-            );
+            assert!(!r.outcomes.is_empty(), "{} produced no outcomes", m.name());
             assert!((0.0..=1.0).contains(&r.accuracy));
         }
         std::env::remove_var("KVEC_FAST");

@@ -7,6 +7,7 @@ use kvec_nn::{Linear, ParamId, ParamStore, Session};
 use kvec_tensor::{KvecRng, Tensor};
 
 /// Linear-softmax classifier over sequence representations.
+#[derive(Clone)]
 pub struct Classifier {
     head: Linear,
     num_classes: usize,

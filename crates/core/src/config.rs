@@ -174,7 +174,10 @@ impl KvecConfig {
         assert!(self.max_rel_pos > 0 && self.time_buckets > 0, "bad buckets");
         assert!((0.0..1.0).contains(&self.dropout), "dropout out of range");
         assert!(self.alpha >= 0.0, "alpha must be non-negative");
-        assert!(self.lr > 0.0 && self.lr_baseline > 0.0, "bad learning rates");
+        assert!(
+            self.lr > 0.0 && self.lr_baseline > 0.0,
+            "bad learning rates"
+        );
         assert!(self.grad_clip > 0.0, "grad_clip must be positive");
         assert!(
             (0.0..=1.0).contains(&self.halt_threshold),
@@ -199,7 +202,9 @@ mod tests {
 
     #[test]
     fn builders_set_tradeoff_knobs() {
-        let cfg = KvecConfig::tiny(&schema(), 2).with_beta(0.5).with_alpha(1.0);
+        let cfg = KvecConfig::tiny(&schema(), 2)
+            .with_beta(0.5)
+            .with_alpha(1.0);
         assert_eq!(cfg.beta, 0.5);
         assert_eq!(cfg.alpha, 1.0);
     }

@@ -18,6 +18,7 @@ pub enum Action {
 /// The halting policy `pi(s) = sigmoid(w_pi . s + b_pi)` plus the
 /// REINFORCE value baseline `b(s)` (a shallow feed-forward network, as the
 /// paper prescribes).
+#[derive(Clone)]
 pub struct Ectl {
     policy: Linear,
     baseline_hidden: Linear,
@@ -86,7 +87,12 @@ impl Ectl {
     /// The state-value baseline `b(s)`. Pass a **detached** state: the
     /// baseline regression must not shape the representation (the paper
     /// updates `theta_b` independently, Algorithm 1 line 19).
-    pub fn baseline<'s>(&self, sess: &'s Session, store: &ParamStore, s_detached: Var<'s>) -> Var<'s> {
+    pub fn baseline<'s>(
+        &self,
+        sess: &'s Session,
+        store: &ParamStore,
+        s_detached: Var<'s>,
+    ) -> Var<'s> {
         let h = self.baseline_hidden.forward(sess, store, s_detached).relu();
         self.baseline_out.forward(sess, store, h)
     }

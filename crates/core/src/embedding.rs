@@ -34,6 +34,7 @@ pub struct ItemIndices {
 }
 
 /// The four-component input embedding module.
+#[derive(Clone)]
 pub struct InputEmbedding {
     field_tables: Vec<Embedding>,
     membership: Embedding,
@@ -68,13 +69,7 @@ impl InputEmbedding {
             .collect();
         Self {
             field_tables,
-            membership: Embedding::new(
-                store,
-                "embed.membership",
-                cfg.membership_buckets,
-                d,
-                rng,
-            ),
+            membership: Embedding::new(store, "embed.membership", cfg.membership_buckets, d, rng),
             rel_pos: Embedding::new(store, "embed.rel_pos", cfg.max_rel_pos, d, rng),
             time: Embedding::new(store, "embed.time", cfg.time_buckets, d, rng),
             use_membership: cfg.use_membership_embedding,

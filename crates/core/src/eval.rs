@@ -5,7 +5,7 @@ use crate::ectl::{Action, Ectl};
 use crate::model::KvecModel;
 use kvec_data::{Key, TangledSequence};
 use kvec_nn::Session;
-use kvec_tensor::sigmoid_scalar;
+use kvec_tensor::{parallel, sigmoid_scalar};
 
 /// Outcome of one key-value sequence at evaluation time.
 #[derive(Debug, Clone)]
@@ -103,7 +103,11 @@ pub fn macro_prf(pairs: &[(usize, usize)], num_classes: usize) -> (f32, f32, f32
             tp[c] as f32 / (tp[c] + fp[c]) as f32
         };
         let r = tp[c] as f32 / support as f32;
-        let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        let f = if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
         p_sum += p;
         r_sum += r;
         f_sum += f;
@@ -149,9 +153,7 @@ pub fn evaluate_scenario(model: &KvecModel, scenario: &TangledSequence) -> Vec<K
             }
         }
         let final_state = final_state.unwrap_or(state.h);
-        let (pred, _probs) = model
-            .classifier
-            .predict(&model.store, &final_state.value());
+        let (pred, _probs) = model.classifier.predict(&model.store, &final_state.value());
 
         // Attention-mass split over the observed items (all blocks).
         let mut internal = 0.0f32;
@@ -234,11 +236,19 @@ pub fn attention_profile(
 }
 
 /// Evaluates a set of scenarios and aggregates every metric.
+///
+/// Scenarios are sharded across `KVEC_THREADS` workers (they are
+/// independent and evaluation is RNG-free); shard results are concatenated
+/// in shard order, so the report is identical for every thread count.
 pub fn evaluate(model: &KvecModel, scenarios: &[TangledSequence]) -> EvalReport {
-    let mut outcomes = Vec::new();
-    for s in scenarios {
-        outcomes.extend(evaluate_scenario(model, s));
-    }
+    let threads = parallel::num_threads();
+    let shards = parallel::par_map_shards(scenarios, threads, |_, shard| {
+        shard
+            .iter()
+            .flat_map(|s| evaluate_scenario(model, s))
+            .collect::<Vec<_>>()
+    });
+    let outcomes = shards.into_iter().flatten().collect();
     report_from_outcomes(outcomes, model.cfg.num_classes)
 }
 

@@ -9,6 +9,7 @@ use kvec_nn::{AttentionBlock, AttentionTrace, LayerNorm, LstmCell, ParamId, Para
 use kvec_tensor::{KvecRng, Tensor};
 
 /// The KVRL encoder: `E_0 -> attention blocks -> E`.
+#[derive(Clone)]
 pub struct KvrlEncoder {
     /// The four-component input embedding.
     pub input: InputEmbedding,

@@ -307,9 +307,7 @@ mod tests {
             for &j in row.key_edges.iter().chain(&row.value_edges) {
                 assert_eq!(mask[(i, j)], 0.0);
             }
-            let visible = (0..=i)
-                .filter(|&j| mask[(i, j)] == 0.0 && j != i)
-                .count();
+            let visible = (0..=i).filter(|&j| mask[(i, j)] == 0.0 && j != i).count();
             assert_eq!(visible, row.key_edges.len() + row.value_edges.len());
         }
     }

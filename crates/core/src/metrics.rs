@@ -144,8 +144,7 @@ pub struct ClassReport {
 impl crate::eval::EvalReport {
     /// Builds the confusion matrix of this report's outcomes.
     pub fn confusion_matrix(&self, num_classes: usize) -> ConfusionMatrix {
-        let pairs: Vec<(usize, usize)> =
-            self.outcomes.iter().map(|o| (o.label, o.pred)).collect();
+        let pairs: Vec<(usize, usize)> = self.outcomes.iter().map(|o| (o.label, o.pred)).collect();
         ConfusionMatrix::from_pairs(&pairs, num_classes)
     }
 }
@@ -157,10 +156,7 @@ mod tests {
     fn sample() -> ConfusionMatrix {
         // truth 0: 3 correct, 1 as class 1; truth 1: 2 correct; truth 2: 1
         // as class 0.
-        ConfusionMatrix::from_pairs(
-            &[(0, 0), (0, 0), (0, 0), (0, 1), (1, 1), (1, 1), (2, 0)],
-            3,
-        )
+        ConfusionMatrix::from_pairs(&[(0, 0), (0, 0), (0, 0), (0, 1), (1, 1), (1, 1), (2, 0)], 3)
     }
 
     #[test]

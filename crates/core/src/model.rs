@@ -11,6 +11,11 @@ use kvec_nn::{AttentionTrace, ParamId, ParamStore, Session};
 use kvec_tensor::KvecRng;
 
 /// KVRL + ECTL + classifier, sharing one [`ParamStore`].
+///
+/// `Clone` replicates the full model (parameters included) — the
+/// data-parallel training loop clones one replica per worker so each can
+/// accumulate gradients privately before the ordered reduction.
+#[derive(Clone)]
 pub struct KvecModel {
     /// The model configuration.
     pub cfg: KvecConfig,
@@ -103,9 +108,9 @@ impl KvecModel {
             self.cfg.use_value_correlation,
         );
         let indices = self.encoder.input.indices_for(tangled);
-        let (e, traces) = self
-            .encoder
-            .encode(sess, &self.store, &indices, &dyn_mask.mask, dropout_rng);
+        let (e, traces) =
+            self.encoder
+                .encode(sess, &self.store, &indices, &dyn_mask.mask, dropout_rng);
         StreamForward {
             e,
             dyn_mask,
@@ -139,8 +144,7 @@ mod tests {
         let model = KvecModel::new(&cfg, &mut rng);
         assert!(model.num_parameters() > 1000);
 
-        let theta: std::collections::BTreeSet<_> =
-            model.model_param_ids().into_iter().collect();
+        let theta: std::collections::BTreeSet<_> = model.model_param_ids().into_iter().collect();
         let theta_b: std::collections::BTreeSet<_> =
             model.baseline_param_ids().into_iter().collect();
         assert!(theta.is_disjoint(&theta_b));

@@ -108,7 +108,9 @@ impl<'m> StreamingEngine<'m> {
         let pos_in_key = if model.cfg.use_key_correlation {
             pos_in_key
         } else {
-            self.keys_state.get(&item.key).map_or(0, |s| s.n_items_total())
+            self.keys_state
+                .get(&item.key)
+                .map_or(0, |s| s.n_items_total())
         };
 
         // Embed and run the new row through the block stack.
@@ -134,12 +136,15 @@ impl<'m> StreamingEngine<'m> {
 
         // Fusion + halting for this key (skipped once halted).
         let d = model.cfg.fusion_hidden;
-        let state = self.keys_state.entry(item.key).or_insert_with(|| KeySeqState {
-            h: Tensor::zeros(1, d),
-            c: Tensor::zeros(1, d),
-            n_items: 0,
-            halted: false,
-        });
+        let state = self
+            .keys_state
+            .entry(item.key)
+            .or_insert_with(|| KeySeqState {
+                h: Tensor::zeros(1, d),
+                c: Tensor::zeros(1, d),
+                n_items: 0,
+                halted: false,
+            });
         state.n_items += 1;
         if state.halted {
             return None;

@@ -20,6 +20,11 @@
 //! Deviation noted for reviewers: losses are averaged over the keys of a
 //! scenario (the paper sums) so the learning rate is insensitive to the
 //! number of concurrent sequences `K`.
+//!
+//! Two epoch drivers exist: [`Trainer::train_epoch`] (serial, one step per
+//! scenario — the reference schedule) and [`Trainer::train_epoch_parallel`]
+//! (data-parallel over worker replicas with an ordered gradient reduction;
+//! see its docs for the determinism contract).
 
 use crate::ectl::{Action, Ectl};
 use crate::model::KvecModel;
@@ -28,7 +33,7 @@ use kvec_autograd::Var;
 use kvec_data::TangledSequence;
 use kvec_nn::loss::{cross_entropy_logits, log_one_minus_sigmoid, log_sigmoid, squared_error};
 use kvec_nn::{clip_global_norm, Adam, Optimizer, ParamId, Session};
-use kvec_tensor::{sigmoid_scalar, KvecRng};
+use kvec_tensor::{parallel, sigmoid_scalar, KvecRng};
 
 /// Diagnostics of one training step (one tangled scenario).
 #[derive(Debug, Clone, Copy, Default)]
@@ -107,6 +112,22 @@ impl Trainer {
         scenario: &TangledSequence,
         rng: &mut KvecRng,
     ) -> StepStats {
+        let stats = self.scenario_grads(model, scenario, rng);
+        self.apply_step(model);
+        stats
+    }
+
+    /// The forward/backward pass of one scenario: accumulates gradients into
+    /// `model.store` and reports the step diagnostics, **without** touching
+    /// the optimizers. [`Trainer::train_scenario`] is this plus
+    /// [`Trainer::apply_step`]; the data-parallel epoch runs this on worker
+    /// replicas and reduces their gradients before one shared step.
+    fn scenario_grads(
+        &self,
+        model: &mut KvecModel,
+        scenario: &TangledSequence,
+        rng: &mut KvecRng,
+    ) -> StepStats {
         assert!(!scenario.is_empty(), "empty scenario");
         let sess = Session::new();
         let fwd = model.encode_stream(&sess, scenario, Some(rng));
@@ -153,7 +174,9 @@ impl Trainer {
                 // representation (which the classification loss owns). At
                 // this reproduction's scale, coupled gradients let the
                 // REINFORCE variance erode the encoder.
-                let z = model.ectl.policy_logit(&sess, &model.store, state.h.detach());
+                let z = model
+                    .ectl
+                    .policy_logit(&sess, &model.store, state.h.detach());
                 logits_z.push(z);
                 let p_halt = sigmoid_scalar(z.value().item());
                 if Ectl::sample_action(p_halt, rng) == Action::Halt {
@@ -184,9 +207,7 @@ impl Trainer {
             let ce = cross_entropy_logits(class_logits, label);
             l1 = Some(accumulate(l1, ce.scale(0.5)));
             let extra = rng.below(item_rows.len());
-            let extra_logits = model
-                .classifier
-                .logits(&sess, &model.store, states[extra]);
+            let extra_logits = model.classifier.logits(&sess, &model.store, states[extra]);
             let extra_ce = cross_entropy_logits(extra_logits, label);
             l1 = Some(accumulate(l1, extra_ce.scale(0.5)));
 
@@ -244,6 +265,12 @@ impl Trainer {
             .add(lb);
         sess.backward(total);
         sess.accumulate_grads(&mut model.store);
+        stats
+    }
+
+    /// Clips the accumulated gradients, steps both optimizers and clears the
+    /// accumulators — the update half of [`Trainer::train_scenario`].
+    fn apply_step(&mut self, model: &mut KvecModel) {
         clip_global_norm(&mut model.store, &self.model_ids, self.grad_clip);
         clip_global_norm(&mut model.store, &self.baseline_ids, self.grad_clip);
         self.opt_model.step(&mut model.store);
@@ -253,10 +280,11 @@ impl Trainer {
             !model.store.has_non_finite(),
             "non-finite parameter after update"
         );
-        stats
     }
 
-    /// Trains one pass over a set of scenarios.
+    /// Trains one pass over a set of scenarios, one optimizer step per
+    /// scenario (Algorithm 1's schedule). For multi-core runs see
+    /// [`Trainer::train_epoch_parallel`].
     pub fn train_epoch(
         &mut self,
         model: &mut KvecModel,
@@ -266,20 +294,96 @@ impl Trainer {
         let mut agg = EpochStats::default();
         for scenario in scenarios {
             let s = self.train_scenario(model, scenario, rng);
-            let k = s.num_keys as f32;
-            agg.loss += (s.loss_ce + self.alpha * s.loss_policy + self.beta * s.loss_halt) * k;
-            agg.accuracy += s.accuracy * k;
-            agg.earliness += s.earliness * k;
-            agg.num_keys += s.num_keys;
+            self.fold_step(&mut agg, s);
         }
+        Self::finish_epoch_stats(&mut agg);
+        self.epochs_done += 1;
+        agg
+    }
+
+    /// Data-parallel epoch: scenarios are processed in groups of up to
+    /// `workers`; every worker clones the model, runs the forward/backward
+    /// of one scenario with a scenario-specific RNG, and the group's
+    /// gradients are averaged — **reduced in worker-index order** — into one
+    /// optimizer step.
+    ///
+    /// Determinism: per-scenario seeds are drawn from `rng` in scenario
+    /// order before any worker runs, and the reduction order is fixed, so
+    /// the trajectory is a pure function of `(seed, workers)` — two runs
+    /// with the same inputs agree bitwise. With `workers <= 1` this *is*
+    /// [`Trainer::train_epoch`] (same RNG stream, one step per scenario).
+    /// With `workers > 1` the step granularity changes (one averaged step
+    /// per group instead of one per scenario), so trajectories match across
+    /// worker counts only step-for-step, not bit-for-bit — the usual
+    /// data-parallel trade.
+    pub fn train_epoch_parallel(
+        &mut self,
+        model: &mut KvecModel,
+        scenarios: &[TangledSequence],
+        rng: &mut KvecRng,
+        workers: usize,
+    ) -> EpochStats {
+        if workers <= 1 {
+            return self.train_epoch(model, scenarios, rng);
+        }
+        let ids = model.store.ids();
+        let mut agg = EpochStats::default();
+        for group in scenarios.chunks(workers) {
+            // Seeds are pre-drawn in scenario order so the RNG stream does
+            // not depend on worker scheduling.
+            let jobs: Vec<(&TangledSequence, u64)> =
+                group.iter().map(|s| (s, rng.next_u64())).collect();
+            let trainer = &*self;
+            let shared = &*model;
+            let results = parallel::par_map_shards(&jobs, jobs.len(), |_, shard| {
+                let mut replica = shared.clone();
+                let mut stats = Vec::with_capacity(shard.len());
+                for (scenario, seed) in shard {
+                    let mut wrng = KvecRng::seed_from_u64(*seed);
+                    stats.push(trainer.scenario_grads(&mut replica, scenario, &mut wrng));
+                }
+                (stats, replica.store.take_grads())
+            });
+            // Ordered reduction: worker 0 first, then 1, ... so float
+            // summation order is reproducible.
+            let inv = 1.0 / results.len() as f32;
+            for (_, grads) in &results {
+                for (&id, g) in ids.iter().zip(grads) {
+                    model.store.accumulate_grad(id, g);
+                }
+            }
+            // Average over the group so one grouped step has the same
+            // gradient scale as one per-scenario step.
+            for &id in &ids {
+                model.store.scale_grad(id, inv);
+            }
+            self.apply_step(model);
+            for (stats, _) in results {
+                for s in stats {
+                    self.fold_step(&mut agg, s);
+                }
+            }
+        }
+        Self::finish_epoch_stats(&mut agg);
+        self.epochs_done += 1;
+        agg
+    }
+
+    fn fold_step(&self, agg: &mut EpochStats, s: StepStats) {
+        let k = s.num_keys as f32;
+        agg.loss += (s.loss_ce + self.alpha * s.loss_policy + self.beta * s.loss_halt) * k;
+        agg.accuracy += s.accuracy * k;
+        agg.earliness += s.earliness * k;
+        agg.num_keys += s.num_keys;
+    }
+
+    fn finish_epoch_stats(agg: &mut EpochStats) {
         if agg.num_keys > 0 {
             let n = agg.num_keys as f32;
             agg.loss /= n;
             agg.accuracy /= n;
             agg.earliness /= n;
         }
-        self.epochs_done += 1;
-        agg
     }
 
     /// The trade-off weight `beta` currently in effect.
@@ -298,8 +402,8 @@ fn accumulate<'s>(acc: Option<Var<'s>>, term: Var<'s>) -> Var<'s> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kvec_data::{synth, Dataset};
     use kvec_data::synth::TrafficConfig;
+    use kvec_data::{synth, Dataset};
 
     fn tiny_dataset(seed: u64) -> Dataset {
         let mut rng = KvecRng::seed_from_u64(seed);
@@ -370,6 +474,67 @@ mod tests {
     }
 
     #[test]
+    fn parallel_epoch_with_one_worker_matches_serial_trajectory() {
+        let ds = tiny_dataset(7);
+        let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
+
+        let run = |parallel_path: bool| {
+            let mut rng = KvecRng::seed_from_u64(8);
+            let mut model = KvecModel::new(&cfg, &mut rng);
+            let mut trainer = Trainer::new(&cfg, &model);
+            let mut stats = Vec::new();
+            for _ in 0..2 {
+                stats.push(if parallel_path {
+                    trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, 1)
+                } else {
+                    trainer.train_epoch(&mut model, &ds.train, &mut rng)
+                });
+            }
+            (model, stats)
+        };
+        let (serial_model, serial_stats) = run(false);
+        let (par_model, par_stats) = run(true);
+
+        for (a, b) in serial_stats.iter().zip(&par_stats) {
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.accuracy, b.accuracy);
+            assert_eq!(a.earliness, b.earliness);
+            assert_eq!(a.num_keys, b.num_keys);
+        }
+        for id in serial_model.store.ids() {
+            assert_eq!(
+                serial_model.store.value(id),
+                par_model.store.value(id),
+                "param {} diverged",
+                serial_model.store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_epoch_is_deterministic_across_runs() {
+        let ds = tiny_dataset(9);
+        let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
+
+        let run = || {
+            let mut rng = KvecRng::seed_from_u64(10);
+            let mut model = KvecModel::new(&cfg, &mut rng);
+            let mut trainer = Trainer::new(&cfg, &model);
+            let stats = trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, 2);
+            (model, stats)
+        };
+        let (m1, s1) = run();
+        let (m2, s2) = run();
+        assert_eq!(s1.loss, s2.loss);
+        assert_eq!(s1.accuracy, s2.accuracy);
+        assert_eq!(s1.earliness, s2.earliness);
+        for id in m1.store.ids() {
+            assert_eq!(m1.store.value(id), m2.store.value(id));
+        }
+        assert!(!m1.store.has_non_finite());
+    }
+
+    #[test]
     fn large_beta_halts_earlier_than_negative_beta() {
         let ds = tiny_dataset(5);
         let run = |beta: f32| {
@@ -379,7 +544,9 @@ mod tests {
             let mut trainer = Trainer::new(&cfg, &model);
             let mut e = 0.0;
             for _ in 0..7 {
-                e = trainer.train_epoch(&mut model, &ds.train, &mut rng).earliness;
+                e = trainer
+                    .train_epoch(&mut model, &ds.train, &mut rng)
+                    .earliness;
             }
             e
         };

@@ -72,7 +72,10 @@ pub fn tangle_scenarios_clustered(
     rng: &mut KvecRng,
 ) -> Vec<TangledSequence> {
     assert!(k_concurrent > 0, "k_concurrent must be positive");
-    assert!(classes_per_scenario > 0, "classes_per_scenario must be positive");
+    assert!(
+        classes_per_scenario > 0,
+        "classes_per_scenario must be positive"
+    );
     // Bucket by class, shuffled within class.
     let mut by_class: std::collections::BTreeMap<usize, Vec<LabeledSequence>> = Default::default();
     for s in sequences {
@@ -185,9 +188,7 @@ mod tests {
     fn clustered_tangling_partitions_and_bounds_classes() {
         // 6 classes x 8 flows each.
         let pool: Vec<LabeledSequence> = (0..48)
-            .map(|i| {
-                LabeledSequence::new(Key(i as u64), (i % 6) as usize, vec![vec![0], vec![1]])
-            })
+            .map(|i| LabeledSequence::new(Key(i as u64), (i % 6) as usize, vec![vec![0], vec![1]]))
             .collect();
         let mut rng = KvecRng::seed_from_u64(7);
         let scenarios = tangle_scenarios_clustered(&pool, 8, 2, &mut rng);
@@ -196,7 +197,11 @@ mod tests {
         for sc in &scenarios {
             let classes: std::collections::BTreeSet<usize> =
                 sc.labels.iter().map(|&(_, l)| l).collect();
-            assert!(classes.len() <= 2, "scenario spans {} classes", classes.len());
+            assert!(
+                classes.len() <= 2,
+                "scenario spans {} classes",
+                classes.len()
+            );
             assert!(sc.num_keys() <= 8);
         }
         // Locality exists: at least one scenario has >= 2 flows of the

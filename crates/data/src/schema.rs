@@ -21,11 +21,7 @@ pub struct ValueSchema {
 
 impl ValueSchema {
     /// Creates a schema; panics on inconsistent arguments.
-    pub fn new(
-        field_names: Vec<String>,
-        cardinalities: Vec<usize>,
-        session_field: usize,
-    ) -> Self {
+    pub fn new(field_names: Vec<String>, cardinalities: Vec<usize>, session_field: usize) -> Self {
         assert_eq!(
             field_names.len(),
             cardinalities.len(),
@@ -71,11 +67,7 @@ mod tests {
     use super::*;
 
     fn schema() -> ValueSchema {
-        ValueSchema::new(
-            vec!["direction".into(), "size".into()],
-            vec![2, 16],
-            0,
-        )
+        ValueSchema::new(vec!["direction".into(), "size".into()], vec![2, 16], 0)
     }
 
     #[test]

@@ -25,11 +25,7 @@ pub fn compute_stats(sequences: &[LabeledSequence], schema: &ValueSchema) -> Dat
 
     let mut total_sessions = 0usize;
     for s in sequences {
-        let codes: Vec<u32> = s
-            .values
-            .iter()
-            .map(|v| schema.session_value(v))
-            .collect();
+        let codes: Vec<u32> = s.values.iter().map(|v| schema.session_value(v)).collect();
         total_sessions += crate::session_lengths(&codes).len();
     }
 

@@ -123,7 +123,8 @@ pub fn generate_movielens(cfg: &MovieLensConfig, rng: &mut KvecRng) -> Vec<Label
             let rating_center = 2.5 + profile.rating_bias;
             let rating = (rng.normal(rating_center, 1.0).round() as i64)
                 .clamp(0, cfg.num_ratings as i64 - 1) as u32;
-            let movie = genre * cfg.movies_per_genre as u32 + rng.below(cfg.movies_per_genre) as u32;
+            let movie =
+                genre * cfg.movies_per_genre as u32 + rng.below(cfg.movies_per_genre) as u32;
             values.push(vec![genre, rating, movie]);
         }
         pool.push(LabeledSequence::new(Key(user as u64), class, values));

@@ -114,11 +114,7 @@ fn filler_item(cfg: &StopSignalConfig, rng: &mut KvecRng) -> Vec<u32> {
     ]
 }
 
-fn signal_item(
-    cfg: &StopSignalConfig,
-    profile: &ClassProfile,
-    rng: &mut KvecRng,
-) -> Vec<u32> {
+fn signal_item(cfg: &StopSignalConfig, profile: &ClassProfile, rng: &mut KvecRng) -> Vec<u32> {
     if rng.bernoulli(cfg.signal_strength) {
         let size = profile.size_codes[rng.below(profile.size_codes.len())];
         vec![profile.direction, size]

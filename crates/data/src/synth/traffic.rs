@@ -177,7 +177,9 @@ fn build_profiles(cfg: &TrafficConfig) -> Vec<ClassProfile> {
                 (dir, size)
             })
             .collect();
-        let mut sig_dir = signature.last().map_or_else(|| rng.below(2) as u32, |v| v.0);
+        let mut sig_dir = signature
+            .last()
+            .map_or_else(|| rng.below(2) as u32, |v| v.0);
         while signature.len() < cfg.sig_len {
             if !signature.is_empty() && !rng.bernoulli(cfg.p_stay) {
                 sig_dir ^= 1;

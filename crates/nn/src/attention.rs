@@ -6,6 +6,13 @@
 //! feed-forward network follows. The same block with an all-visible causal
 //! mask doubles as the per-sequence transformer encoder of the SRN
 //! baselines.
+//!
+//! All heavy linear algebra here — the Q/K/V/O projections, the per-head
+//! `Q Kᵀ` score products, the masked row softmax and the `attn · V`
+//! contraction — lowers to the register-tiled, row-parallel kernels in
+//! `kvec_tensor` (see `kvec_tensor::parallel`), so a forward pass scales
+//! with `KVEC_THREADS` above the kernels' dispatch threshold while staying
+//! bit-identical for every thread count.
 
 use crate::{Dropout, FeedForward, Linear, ParamId, ParamStore, Session};
 use kvec_autograd::Var;
@@ -117,7 +124,11 @@ impl AttentionBlock {
             let (qh, kh, vh) = if self.n_heads == 1 {
                 (q, k, v)
             } else {
-                (q.slice_cols(lo, hi), k.slice_cols(lo, hi), v.slice_cols(lo, hi))
+                (
+                    q.slice_cols(lo, hi),
+                    k.slice_cols(lo, hi),
+                    v.slice_cols(lo, hi),
+                )
             };
             let scores = qh.matmul(kh.t()).scale(scale);
             let attn = scores.masked_softmax_rows(mask);
@@ -180,7 +191,10 @@ impl AttentionBlock {
         values: &Tensor,
         visible: &[usize],
     ) -> (Tensor, Vec<(usize, f32)>) {
-        assert!(!visible.is_empty(), "attend_row needs a non-empty visible set");
+        assert!(
+            !visible.is_empty(),
+            "attend_row needs a non-empty visible set"
+        );
         let dh = self.d_model / self.n_heads;
         let scale = 1.0 / (dh as f32).sqrt();
         let q = q_row.data();
@@ -440,6 +454,29 @@ mod tests {
                 row_out.allclose(&batch_out.row_tensor(t), 1e-4),
                 "row {t} diverges (multi-head)"
             );
+        }
+    }
+
+    #[test]
+    fn forward_is_thread_count_invariant() {
+        // Large enough that the score/value matmuls cross the parallel
+        // dispatch threshold; results must still match threads=1 bitwise.
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(31);
+        let blk = AttentionBlock::with_heads(&mut store, "mh", 64, 64, 0.0, true, 2, &mut rng);
+        let x = Tensor::rand_uniform(128, 64, -1.0, 1.0, &mut rng);
+
+        let run = || {
+            let sess = Session::new();
+            let xv = sess.input(x.clone());
+            let (y, trace) = blk.forward(&sess, &store, xv, &causal_mask(128), None);
+            (y.value(), trace.weights)
+        };
+        let (y1, w1) = kvec_tensor::parallel::with_threads(1, run);
+        for threads in [2usize, 4] {
+            let (yt, wt) = kvec_tensor::parallel::with_threads(threads, run);
+            assert_eq!(yt.data(), y1.data(), "output, {threads} threads");
+            assert_eq!(wt.data(), w1.data(), "weights, {threads} threads");
         }
     }
 

@@ -165,8 +165,7 @@ mod tests {
         let mut rng = KvecRng::seed_from_u64(2);
         let lin = Linear::new(&mut store, "l", 2, 1, &mut rng);
         // Overwrite with known weights.
-        *store.value_mut(lin.param_ids()[0]) =
-            Tensor::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        *store.value_mut(lin.param_ids()[0]) = Tensor::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
         *store.value_mut(lin.param_ids()[1]) = Tensor::row_vector(&[0.5]);
 
         let sess = Session::new();

@@ -86,9 +86,7 @@ mod tests {
             let zv = g.leaf(Tensor::scalar(z));
             let sig = kvec_tensor::sigmoid_scalar(z);
             assert!((log_sigmoid(zv).value().item() - sig.ln()).abs() < 1e-5);
-            assert!(
-                (log_one_minus_sigmoid(zv).value().item() - (1.0 - sig).ln()).abs() < 1e-4
-            );
+            assert!((log_one_minus_sigmoid(zv).value().item() - (1.0 - sig).ln()).abs() < 1e-4);
         }
     }
 

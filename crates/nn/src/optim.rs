@@ -117,12 +117,7 @@ impl Optimizer for Adam {
             let g = store.grad(id).clone();
             let m = &mut self.m[slot];
             let v = &mut self.v[slot];
-            for ((m_i, v_i), g_i) in m
-                .data_mut()
-                .iter_mut()
-                .zip(v.data_mut())
-                .zip(g.data())
-            {
+            for ((m_i, v_i), g_i) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
                 *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g_i;
                 *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g_i * g_i;
             }

@@ -80,7 +80,10 @@ mod tests {
             shape: (2, 2),
             len: 3,
         };
-        assert_eq!(e.to_string(), "data length 3 does not match shape 2x2 (= 4)");
+        assert_eq!(
+            e.to_string(),
+            "data length 3 does not match shape 2x2 (= 4)"
+        );
     }
 
     #[test]

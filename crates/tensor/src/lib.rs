@@ -13,18 +13,23 @@
 //! - a *row vector* is a `1 x n` tensor, a *column vector* is `n x 1`;
 //! - binary operations have a checked `try_*` form returning
 //!   [`TensorError`] and a panicking convenience form used internally where a
-//!   shape mismatch is a programming error.
+//!   shape mismatch is a programming error;
+//! - large kernels (matmul family, row softmax) fan out across threads via
+//!   [`parallel`] (`KVEC_THREADS`); results are bit-identical for every
+//!   thread count because work splits over disjoint output rows.
 
 mod error;
 mod init;
 mod matmul;
 mod ops;
+pub mod parallel;
 mod reduce;
 mod rng;
 mod softmax;
 mod tensor;
 
 pub use error::{TensorError, TensorResult};
+pub use parallel::{num_threads, set_num_threads};
 pub use rng::KvecRng;
 pub use softmax::sigmoid_scalar;
 pub use tensor::Tensor;

@@ -304,7 +304,9 @@ mod tests {
         let a = t22();
         let bias = Tensor::row_vector(&[10.0, 20.0]);
         assert_eq!(a.add_row_broadcast(&bias).data(), &[11.0, 22.0, 13.0, 24.0]);
-        assert!(a.try_add_row_broadcast(&Tensor::row_vector(&[1.0])).is_err());
+        assert!(a
+            .try_add_row_broadcast(&Tensor::row_vector(&[1.0]))
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Thread-count control and structured parallel dispatch.
+//!
+//! Every parallel code path in the workspace routes through this module so
+//! one knob governs them all:
+//!
+//! - the `KVEC_THREADS` environment variable (read once, lazily);
+//! - [`set_num_threads`] for programmatic, process-wide control;
+//! - [`with_threads`] for a scoped, thread-local override (used by tests
+//!   and benches so concurrent tests cannot race on the global knob).
+//!
+//! The default is [`hardware_threads`] (`std::thread::available_parallelism`).
+//!
+//! # Determinism contract
+//!
+//! Kernels parallelized here split work over **disjoint output row blocks**
+//! and never change the per-element accumulation order, so tensor results
+//! are bit-identical for every thread count. Higher-level loops (epoch
+//! training) that must *reduce* across workers do so in worker-index order,
+//! making results a pure function of `(seed, thread count)`.
+//!
+//! Workers are plain `std::thread::scope` threads spawned per dispatch: at
+//! the matrix sizes this workspace runs (hundreds of microseconds to
+//! milliseconds per kernel above the dispatch threshold), spawn cost is
+//! noise, and scoped threads keep the module dependency-free.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread count; 0 means "not initialized yet".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`]; 0 means "none".
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of hardware threads the OS reports (>= 1).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn init_from_env() -> usize {
+    std::env::var("KVEC_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(hardware_threads)
+}
+
+/// The thread count parallel kernels dispatch with, resolved as: scoped
+/// [`with_threads`] override, else [`set_num_threads`] value, else
+/// `KVEC_THREADS`, else [`hardware_threads`].
+pub fn num_threads() -> usize {
+    let scoped = OVERRIDE.with(Cell::get);
+    if scoped != 0 {
+        return scoped;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    let n = init_from_env();
+    // A racing initialization stores the same value; last write wins.
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Sets the process-wide thread count (`n >= 1`). Overrides `KVEC_THREADS`.
+pub fn set_num_threads(n: usize) {
+    assert!(n >= 1, "thread count must be at least 1");
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f` with the *calling thread's* dispatch count forced to `n`,
+/// restoring the previous override afterwards (also on panic). Worker
+/// threads spawned by a dispatch are not affected — the dispatching thread
+/// alone decides the fan-out.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "thread count must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(n)));
+    f()
+}
+
+/// Splits `0..rows` into `threads` contiguous blocks (first blocks one row
+/// larger when `rows % threads != 0`).
+fn row_blocks(rows: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.min(rows).max(1);
+    let base = rows / threads;
+    let extra = rows % threads;
+    let mut blocks = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        blocks.push((start, len));
+        start += len;
+    }
+    blocks
+}
+
+/// Runs `body(first_row, rows_in_block, block)` over disjoint row blocks of
+/// a row-major `rows x row_width` buffer, fanning out across up to
+/// `threads` scoped threads. With `threads <= 1` (or a single row) the call
+/// runs inline on the caller.
+///
+/// The split is over *output* rows, so each invocation owns its block
+/// exclusively and no synchronization is needed.
+pub fn par_row_blocks<F>(out: &mut [f32], rows: usize, row_width: usize, threads: usize, body: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * row_width, "buffer/shape mismatch");
+    let threads = threads.min(rows).max(1);
+    if threads == 1 {
+        body(0, rows, out);
+        return;
+    }
+    let blocks = row_blocks(rows, threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut spawned = Vec::with_capacity(blocks.len().saturating_sub(1));
+        for (i, &(start, len)) in blocks.iter().enumerate() {
+            let (block, tail) = rest.split_at_mut(len * row_width);
+            rest = tail;
+            if i + 1 == blocks.len() {
+                // Run the last block on the calling thread.
+                body(start, len, block);
+            } else {
+                let body = &body;
+                spawned.push(scope.spawn(move || body(start, len, block)));
+            }
+        }
+        for handle in spawned {
+            handle.join().expect("parallel kernel worker panicked");
+        }
+    });
+}
+
+/// Maps `body(shard_index, shard)` over contiguous shards of `items`,
+/// returning the results **in shard order** — the deterministic-reduction
+/// primitive used by the data-parallel training and evaluation loops.
+pub fn par_map_shards<T, R, F>(items: &[T], threads: usize, body: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return vec![body(0, items)];
+    }
+    let blocks = row_blocks(items.len(), threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len))| {
+                let shard = &items[start..start + len];
+                let body = &body;
+                scope.spawn(move || body(i, shard))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel shard worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_blocks_cover_and_partition() {
+        for rows in [1usize, 2, 5, 16, 17] {
+            for threads in [1usize, 2, 3, 8, 32] {
+                let blocks = row_blocks(rows, threads);
+                assert!(blocks.len() <= threads.min(rows));
+                let mut next = 0;
+                for (start, len) in blocks {
+                    assert_eq!(start, next);
+                    assert!(len >= 1);
+                    next = start + len;
+                }
+                assert_eq!(next, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn par_row_blocks_writes_every_row_once() {
+        let (rows, width) = (13, 7);
+        for threads in [1usize, 2, 4] {
+            let mut buf = vec![0.0f32; rows * width];
+            par_row_blocks(&mut buf, rows, width, threads, |first, n, block| {
+                for r in 0..n {
+                    for v in &mut block[r * width..(r + 1) * width] {
+                        *v += (first + r) as f32;
+                    }
+                }
+            });
+            for r in 0..rows {
+                assert!(buf[r * width..(r + 1) * width]
+                    .iter()
+                    .all(|&v| v == r as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_shards_preserves_order() {
+        let items: Vec<usize> = (0..23).collect();
+        for threads in [1usize, 2, 5] {
+            let shards = par_map_shards(&items, threads, |_, shard| shard.to_vec());
+            let flat: Vec<usize> = shards.into_iter().flatten().collect();
+            assert_eq!(flat, items);
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = num_threads();
+        let inner = with_threads(3, num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(num_threads(), outer);
+        // Nested overrides restore the enclosing one.
+        with_threads(2, || {
+            assert_eq!(num_threads(), 2);
+            with_threads(5, || assert_eq!(num_threads(), 5));
+            assert_eq!(num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn override_is_thread_local() {
+        with_threads(4, || {
+            let seen = std::thread::scope(|s| s.spawn(num_threads).join().unwrap());
+            // The spawned thread sees the global default, not the override.
+            assert_ne!(seen, 0);
+        });
+    }
+}

@@ -59,7 +59,10 @@ impl Tensor {
 
     /// Largest element; `NEG_INFINITY` for an empty tensor.
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Smallest element; `INFINITY` for an empty tensor.

@@ -2,7 +2,32 @@
 //! additive mask, as the KVEC attention requires), log-softmax, and pointwise
 //! nonlinearities.
 
-use crate::Tensor;
+use crate::{parallel, Tensor};
+
+/// Element count above which the row-softmax fans out across threads
+/// (rows are independent, so results do not depend on the thread count).
+const PAR_MIN_ELEMS: usize = 16 * 1024;
+
+/// Numerically stable softmax of one row, in place. Rows whose every entry
+/// is `-inf` (fully masked) become all-zero rather than NaN.
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        for v in row.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
 
 impl Tensor {
     /// Row-wise numerically stable softmax.
@@ -18,29 +43,20 @@ impl Tensor {
     /// than NaN; KVEC guarantees the diagonal of its mask is 0 so this only
     /// matters for defensive robustness.
     pub fn softmax_rows_inplace(&mut self) {
-        let cols = self.cols();
-        if cols == 0 {
+        let (rows, cols) = self.shape();
+        if cols == 0 || rows == 0 {
             return;
         }
-        for r in 0..self.rows() {
-            let row = self.row_mut(r);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            if max == f32::NEG_INFINITY {
-                for v in row.iter_mut() {
-                    *v = 0.0;
-                }
-                continue;
+        let threads = if rows * cols < PAR_MIN_ELEMS {
+            1
+        } else {
+            parallel::num_threads()
+        };
+        parallel::par_row_blocks(self.data_mut(), rows, cols, threads, |_, n, block| {
+            for chunk in block.chunks_mut(cols).take(n) {
+                softmax_row(chunk);
             }
-            let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
-        }
+        });
     }
 
     /// Row-wise softmax of `self + mask` where `mask` entries are `0` or
@@ -59,12 +75,7 @@ impl Tensor {
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let log_sum = row
-                .iter()
-                .map(|v| (v - max).exp())
-                .sum::<f32>()
-                .ln()
-                + max;
+            let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
             for v in row.iter_mut() {
                 *v -= log_sum;
             }

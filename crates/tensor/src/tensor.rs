@@ -58,7 +58,11 @@ impl Tensor {
             }
             data.extend_from_slice(row);
         }
-        Ok(Self { data, rows: r, cols: c })
+        Ok(Self {
+            data,
+            rows: r,
+            cols: c,
+        })
     }
 
     /// Creates an all-zero tensor.

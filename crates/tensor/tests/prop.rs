@@ -1,6 +1,6 @@
 //! Property-based tests of the tensor kernels.
 
-use kvec_tensor::{Axis, Tensor};
+use kvec_tensor::{parallel, Axis, KvecRng, Tensor};
 use proptest::prelude::*;
 
 fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
@@ -127,5 +127,46 @@ proptest! {
         let lhs = a.scale(s).frobenius_norm();
         let rhs = s.abs() * a.frobenius_norm();
         prop_assert!((lhs - rhs).abs() < 1e-2 + rhs * 1e-4);
+    }
+}
+
+// Larger-shape properties of the register-tiled parallel kernels. Shapes go
+// up to 512x512 outputs, so the operands are filled from a seeded RNG
+// (drawing a quarter-million floats through proptest strategies would
+// dominate the runtime) and the case count is kept small.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_kernels_match_serial_reference(
+        m in 1usize..=512,
+        k in 1usize..=64,
+        n in 1usize..=512,
+        seed in any::<u64>(),
+        threads in 2usize..=8,
+    ) {
+        let mut rng = KvecRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+        let reference = a.matmul_reference(&b).unwrap();
+
+        // Single-thread dispatch is bit-identical to the pre-parallel
+        // serial kernel (same per-element accumulation order).
+        let serial = parallel::with_threads(1, || a.matmul(&b));
+        prop_assert_eq!(serial.data(), reference.data());
+
+        // Multi-thread dispatch: nn/tn stay bitwise (the row split never
+        // crosses an output row), nt reorders its dot sums.
+        let par = parallel::with_threads(threads, || a.matmul(&b));
+        prop_assert_eq!(par.data(), reference.data());
+        prop_assert!(par.allclose(&reference, 1e-5));
+
+        let at = a.transpose();
+        let tn = parallel::with_threads(threads, || at.matmul_tn(&b).unwrap());
+        prop_assert_eq!(tn.data(), reference.data());
+
+        let bt = b.transpose();
+        let nt = parallel::with_threads(threads, || a.matmul_nt(&bt).unwrap());
+        prop_assert!(nt.allclose(&reference, 1e-5));
     }
 }

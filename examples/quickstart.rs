@@ -63,7 +63,10 @@ fn main() {
     let report = evaluate(&model, &ds.test);
     println!();
     println!("test accuracy : {:.3}", report.accuracy);
-    println!("test earliness: {:.3} (fraction of each flow observed)", report.earliness);
+    println!(
+        "test earliness: {:.3} (fraction of each flow observed)",
+        report.earliness
+    );
     println!("macro F1      : {:.3}", report.f1);
     println!("harmonic mean : {:.3}", report.hm);
 }

@@ -60,7 +60,11 @@ fn main() {
     for (pos, item) in scenario.items.iter().enumerate() {
         if let Some(decision) = engine.feed(item) {
             let truth = labels[&decision.key];
-            let verdict = if decision.pred == truth { "ok " } else { "MISS" };
+            let verdict = if decision.pred == truth {
+                "ok "
+            } else {
+                "MISS"
+            };
             let confidence = decision.probs[decision.pred];
             println!(
                 "packet {:>4}: flow {:>4} -> class {:>2} (conf {:.2}) after {:>2} packets [{verdict}]",
@@ -74,7 +78,11 @@ fn main() {
     }
     for decision in engine.finish() {
         let truth = labels[&decision.key];
-        let verdict = if decision.pred == truth { "ok " } else { "MISS" };
+        let verdict = if decision.pred == truth {
+            "ok "
+        } else {
+            "MISS"
+        };
         println!(
             "stream end : flow {:>4} -> class {:>2} after {:>2} packets (forced) [{verdict}]",
             decision.key.0, decision.pred, decision.n_items

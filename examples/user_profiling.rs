@@ -40,19 +40,21 @@ fn main() {
         ds.total_items() as f32 / ds.total_keys() as f32
     );
 
-    for (label, beta) in [("eager profiling (beta = 0.5)", 0.5f32), ("patient profiling (beta = 0.0)", 0.0)] {
+    for (label, beta) in [
+        ("eager profiling (beta = 0.5)", 0.5f32),
+        ("patient profiling (beta = 0.0)", 0.0),
+    ] {
         let report = train_at_beta(&ds, beta, 11);
         println!("{label}:");
         println!("  accuracy  {:.3}", report.accuracy);
         println!("  earliness {:.3}", report.earliness);
-        let mean_items: f32 = report
-            .outcomes
-            .iter()
-            .map(|o| o.n_k as f32)
-            .sum::<f32>()
+        let mean_items: f32 = report.outcomes.iter().map(|o| o.n_k as f32).sum::<f32>()
             / report.outcomes.len().max(1) as f32;
         println!("  mean ratings observed per user: {mean_items:.1}");
-        println!("  harmonic mean (accuracy vs earliness): {:.3}\n", report.hm);
+        println!(
+            "  harmonic mean (accuracy vs earliness): {:.3}\n",
+            report.hm
+        );
     }
 
     println!(

@@ -1,0 +1,97 @@
+//! End-to-end contracts of the parallel backend: data-parallel training
+//! and sharded evaluation must be deterministic, and the one-worker paths
+//! must reproduce the serial implementations exactly.
+
+use kvec::train::Trainer;
+use kvec::{evaluate, KvecConfig, KvecModel};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::Dataset;
+use kvec_tensor::{parallel, KvecRng};
+
+fn dataset(seed: u64) -> Dataset {
+    let mut rng = KvecRng::seed_from_u64(seed);
+    let cfg = TrafficConfig {
+        num_flows: 24,
+        num_classes: 2,
+        mean_len: 12,
+        min_len: 10,
+        max_len: 16,
+        ..TrafficConfig::traffic_app(0)
+    };
+    let pool = generate_traffic(&cfg, &mut rng);
+    Dataset::from_pool("par", cfg.schema(), 2, pool, 4, &mut rng)
+}
+
+/// Trains for `epochs` with the given worker count and returns the final
+/// model plus the per-epoch (loss, accuracy) trajectory.
+fn train(ds: &Dataset, workers: usize, epochs: usize) -> (KvecModel, Vec<(f32, f32)>) {
+    let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
+    let mut rng = KvecRng::seed_from_u64(77);
+    let mut model = KvecModel::new(&cfg, &mut rng);
+    let mut trainer = Trainer::new(&cfg, &model);
+    let mut trajectory = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let s = trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, workers);
+        trajectory.push((s.loss, s.accuracy));
+    }
+    (model, trajectory)
+}
+
+#[test]
+fn one_worker_reproduces_the_serial_trajectory() {
+    let ds = dataset(1);
+    let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
+
+    // Serial reference: the plain per-scenario-step epoch loop.
+    let mut rng = KvecRng::seed_from_u64(77);
+    let mut serial_model = KvecModel::new(&cfg, &mut rng);
+    let mut trainer = Trainer::new(&cfg, &serial_model);
+    let mut serial_traj = Vec::new();
+    for _ in 0..2 {
+        let s = trainer.train_epoch(&mut serial_model, &ds.train, &mut rng);
+        serial_traj.push((s.loss, s.accuracy));
+    }
+
+    let (par_model, par_traj) = train(&ds, 1, 2);
+    assert_eq!(serial_traj, par_traj, "loss/accuracy trajectory diverged");
+    for id in serial_model.store.ids() {
+        assert_eq!(
+            serial_model.store.value(id),
+            par_model.store.value(id),
+            "parameter {} diverged",
+            serial_model.store.name(id)
+        );
+    }
+}
+
+#[test]
+fn multi_worker_training_is_run_to_run_deterministic() {
+    let ds = dataset(2);
+    let (m1, t1) = train(&ds, 3, 2);
+    let (m2, t2) = train(&ds, 3, 2);
+    assert_eq!(t1, t2);
+    for id in m1.store.ids() {
+        assert_eq!(m1.store.value(id), m2.store.value(id));
+    }
+    assert!(!m1.store.has_non_finite());
+}
+
+#[test]
+fn evaluation_is_thread_count_invariant() {
+    let ds = dataset(3);
+    let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
+    let model = KvecModel::new(&cfg, &mut KvecRng::seed_from_u64(5));
+
+    let serial = parallel::with_threads(1, || evaluate(&model, &ds.test));
+    for threads in [2usize, 4, 8] {
+        let par = parallel::with_threads(threads, || evaluate(&model, &ds.test));
+        assert_eq!(par.accuracy, serial.accuracy, "{threads} threads");
+        assert_eq!(par.earliness, serial.earliness, "{threads} threads");
+        assert_eq!(par.outcomes.len(), serial.outcomes.len());
+        for (a, b) in par.outcomes.iter().zip(&serial.outcomes) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.pred, b.pred);
+            assert_eq!(a.n_k, b.n_k);
+        }
+    }
+}

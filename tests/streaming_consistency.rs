@@ -43,7 +43,11 @@ fn trained_streaming_matches_batch_on_every_test_scenario() {
             decisions.iter().map(|d| (d.key, d)).collect();
         for outcome in &batch {
             let d = stream[&outcome.key];
-            assert_eq!(d.pred, outcome.pred, "prediction mismatch {:?}", outcome.key);
+            assert_eq!(
+                d.pred, outcome.pred,
+                "prediction mismatch {:?}",
+                outcome.key
+            );
             assert_eq!(d.n_items, outcome.n_k, "halt mismatch {:?}", outcome.key);
         }
     }
