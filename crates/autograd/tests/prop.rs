@@ -1,47 +1,59 @@
 //! Property-based gradient checks: every differentiable op, on random
-//! inputs, must match central finite differences.
+//! inputs, must match central finite differences. (Ported from proptest to
+//! the in-tree `kvec-check` harness.)
 
 use kvec_autograd::gradcheck::check_scalar_fn;
+use kvec_check::{check_n, Gen};
 use kvec_tensor::Tensor;
-use proptest::prelude::*;
 
-fn input(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-2.0f32..2.0, rows * cols)
-        .prop_map(move |d| Tensor::from_vec(rows, cols, d).unwrap())
+fn gen_input(g: &mut Gen, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(rows, cols, g.vec_f32(rows * cols, -2.0, 2.0)).unwrap()
 }
 
+const CASES: usize = 48;
 const TOL: f32 = 2e-2;
 const EPS: f32 = 1e-3;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn grad_elementwise_chain(x in input(3, 3)) {
+#[test]
+fn grad_elementwise_chain() {
+    check_n("grad_elementwise_chain", CASES, |g| {
+        let x = gen_input(g, 3, 3);
         let r = check_scalar_fn(&x, EPS, |_g, v| {
-            v.sigmoid().hadamard(v.tanh()).square().sum_all().value().item()
+            v.sigmoid()
+                .hadamard(v.tanh())
+                .square()
+                .sum_all()
+                .value()
+                .item()
         });
-        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
-    }
+        assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    });
+}
 
-    #[test]
-    fn grad_softmax_composition(x in input(3, 4)) {
+#[test]
+fn grad_softmax_composition() {
+    check_n("grad_softmax_composition", CASES, |g| {
+        let x = gen_input(g, 3, 4);
         let r = check_scalar_fn(&x, EPS, |_g, v| {
             v.softmax_rows().square().sum_all().value().item()
         });
-        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
-    }
+        assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    });
+}
 
-    #[test]
-    fn grad_matmul_quadratic_form(x in input(3, 3)) {
-        let r = check_scalar_fn(&x, EPS, |_g, v| {
-            v.matmul(v.t()).sum_all().value().item()
-        });
-        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
-    }
+#[test]
+fn grad_matmul_quadratic_form() {
+    check_n("grad_matmul_quadratic_form", CASES, |g| {
+        let x = gen_input(g, 3, 3);
+        let r = check_scalar_fn(&x, EPS, |_g, v| v.matmul(v.t()).sum_all().value().item());
+        assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    });
+}
 
-    #[test]
-    fn grad_gather_and_concat(x in input(4, 2)) {
+#[test]
+fn grad_gather_and_concat() {
+    check_n("grad_gather_and_concat", CASES, |g| {
+        let x = gen_input(g, 4, 2);
         let r = check_scalar_fn(&x, EPS, |_g, v| {
             v.gather_rows(&[0, 0, 3])
                 .concat_cols(v.gather_rows(&[1, 2, 3]))
@@ -50,11 +62,14 @@ proptest! {
                 .value()
                 .item()
         });
-        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
-    }
+        assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    });
+}
 
-    #[test]
-    fn grad_softplus_policy_terms(x in input(1, 4)) {
+#[test]
+fn grad_softplus_policy_terms() {
+    check_n("grad_softplus_policy_terms", CASES, |g| {
+        let x = gen_input(g, 1, 4);
         // The exact expression shape of the halting losses.
         let r = check_scalar_fn(&x, EPS, |g, v| {
             let w = g.leaf(Tensor::from_vec(4, 1, vec![0.3, -0.2, 0.5, 0.1]).unwrap());
@@ -63,37 +78,45 @@ proptest! {
             let log_wait = z.softplus().neg();
             log_halt.scale(-1.7).add(log_wait.scale(0.4)).value().item()
         });
-        prop_assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
-    }
+        assert!(r.max_rel_err < TOL, "rel err {}", r.max_rel_err);
+    });
+}
 
-    #[test]
-    fn grad_scale_linearity(x in input(2, 3), s in -3.0f32..3.0) {
-        let r = check_scalar_fn(&x, EPS, move |_g, v| {
-            v.scale(s).sum_all().value().item()
-        });
+#[test]
+fn grad_scale_linearity() {
+    check_n("grad_scale_linearity", CASES, |g| {
+        let x = gen_input(g, 2, 3);
+        let s = g.f32_in(-3.0, 3.0);
+        let r = check_scalar_fn(&x, EPS, move |_g, v| v.scale(s).sum_all().value().item());
         // d/dx sum(s*x) = s exactly.
-        prop_assert!(r.max_abs_err < 1e-2, "abs err {}", r.max_abs_err);
-    }
+        assert!(r.max_abs_err < 1e-2, "abs err {}", r.max_abs_err);
+    });
+}
 
-    #[test]
-    fn grad_mean_is_uniform(x in input(3, 3)) {
+#[test]
+fn grad_mean_is_uniform() {
+    check_n("grad_mean_is_uniform", CASES, |g| {
         use kvec_autograd::Graph;
-        let g = Graph::new();
-        let v = g.leaf(x.clone());
+        let x = gen_input(g, 3, 3);
+        let graph = Graph::new();
+        let v = graph.leaf(x);
         let y = v.mean_all();
-        g.backward(y);
-        let grad = g.grad(v).unwrap();
+        graph.backward(y);
+        let grad = graph.grad(v).unwrap();
         let expected = Tensor::full(3, 3, 1.0 / 9.0);
-        prop_assert!(grad.allclose(&expected, 1e-6));
-    }
+        assert!(grad.allclose(&expected, 1e-6));
+    });
+}
 
-    #[test]
-    fn detach_never_leaks_gradient(x in input(2, 2)) {
+#[test]
+fn detach_never_leaks_gradient() {
+    check_n("detach_never_leaks_gradient", CASES, |g| {
         use kvec_autograd::Graph;
-        let g = Graph::new();
-        let v = g.leaf(x);
+        let x = gen_input(g, 2, 2);
+        let graph = Graph::new();
+        let v = graph.leaf(x);
         let y = v.detach().square().sum_all();
-        g.backward(y);
-        prop_assert!(g.grad(v).is_none());
-    }
+        graph.backward(y);
+        assert!(graph.grad(v).is_none());
+    });
 }

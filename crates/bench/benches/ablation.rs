@@ -10,8 +10,8 @@
 //!   pooling aggregates noise; the bench quantifies how much compute the
 //!   gates cost in exchange.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kvec::{KvecConfig, KvecModel, StreamingEngine};
+use kvec_bench::timing;
 use kvec_data::synth::{generate_traffic, TrafficConfig};
 use kvec_data::{mixer, TangledSequence};
 use kvec_nn::Session;
@@ -43,8 +43,8 @@ fn model_with(dcfg: &TrafficConfig, use_key: bool, use_value: bool) -> KvecModel
     KvecModel::new(&mcfg, &mut rng)
 }
 
-fn bench_mask_sparsity_streaming(c: &mut Criterion) {
-    let mut group = c.benchmark_group("streaming_by_mask");
+fn bench_mask_sparsity_streaming() {
+    let mut group = timing::group("streaming_by_mask");
     let (tangled, dcfg) = scenario(11);
     for (name, uk, uv) in [
         ("self_only", false, false),
@@ -53,76 +53,68 @@ fn bench_mask_sparsity_streaming(c: &mut Criterion) {
         ("key_and_value", true, true),
     ] {
         let model = model_with(&dcfg, uk, uv);
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| black_box(StreamingEngine::run(&model, &tangled)))
+        group.bench(name, || {
+            black_box(StreamingEngine::run(&model, &tangled));
         });
     }
     group.finish();
 }
 
-fn bench_incremental_vs_reencode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("incremental_vs_reencode");
+fn bench_incremental_vs_reencode() {
+    let mut group = timing::group("incremental_vs_reencode");
     group.sample_size(10);
     let (tangled, dcfg) = scenario(13);
     let model = model_with(&dcfg, true, true);
 
-    group.bench_function("incremental_engine", |b| {
-        b.iter(|| black_box(StreamingEngine::run(&model, &tangled)))
+    group.bench("incremental_engine", || {
+        black_box(StreamingEngine::run(&model, &tangled));
     });
-    group.bench_function("full_reencode_per_arrival", |b| {
-        b.iter(|| {
-            // The naive alternative: re-encode the whole prefix at every
-            // arrival (what a system without causal-cache would pay).
-            for t in 1..=tangled.len() {
-                let prefix = tangled.prefix(t);
-                let sess = Session::new();
-                black_box(model.encode_stream(&sess, &prefix, None).e.shape());
-            }
-        })
+    group.bench("full_reencode_per_arrival", || {
+        // The naive alternative: re-encode the whole prefix at every
+        // arrival (what a system without causal-cache would pay).
+        for t in 1..=tangled.len() {
+            let prefix = tangled.prefix(t);
+            let sess = Session::new();
+            black_box(model.encode_stream(&sess, &prefix, None).e.shape());
+        }
     });
     group.finish();
 }
 
-fn bench_fusion_vs_mean_pool(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fusion_vs_pooling");
+fn bench_fusion_vs_mean_pool() {
+    let mut group = timing::group("fusion_vs_pooling");
     let (tangled, dcfg) = scenario(17);
     let model = model_with(&dcfg, true, true);
     let sess = Session::new();
     let e = model.encode_stream(&sess, &tangled, None).e.value();
     let rows: Vec<usize> = (0..e.rows()).collect();
 
-    group.bench_function("gated_fusion_sequence", |b| {
-        b.iter(|| {
-            let sess = Session::new();
-            let ev = sess.input(e.clone());
-            let mut state = model.encoder.fusion.zero_state(&sess);
-            for &g in &rows {
-                state = model
-                    .encoder
-                    .fusion
-                    .step(&sess, &model.store, ev.row(g), state);
-            }
-            black_box(state.h.value())
-        })
+    group.bench("gated_fusion_sequence", || {
+        let sess = Session::new();
+        let ev = sess.input(e.clone());
+        let mut state = model.encoder.fusion.zero_state(&sess);
+        for &g in &rows {
+            state = model
+                .encoder
+                .fusion
+                .step(&sess, &model.store, ev.row(g), state);
+        }
+        black_box(state.h.value());
     });
-    group.bench_function("mean_pool_sequence", |b| {
-        b.iter(|| {
-            // The parameter-free alternative the paper rejects.
-            let mut acc = Tensor::zeros(1, e.cols());
-            for &g in &rows {
-                acc.add_assign(&e.row_tensor(g));
-            }
-            acc.scale_assign(1.0 / rows.len() as f32);
-            black_box(acc.sum_axis(Axis::Rows))
-        })
+    group.bench("mean_pool_sequence", || {
+        // The parameter-free alternative the paper rejects.
+        let mut acc = Tensor::zeros(1, e.cols());
+        for &g in &rows {
+            acc.add_assign(&e.row_tensor(g));
+        }
+        acc.scale_assign(1.0 / rows.len() as f32);
+        black_box(acc.sum_axis(Axis::Rows));
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_mask_sparsity_streaming,
-    bench_incremental_vs_reencode,
-    bench_fusion_vs_mean_pool
-);
-criterion_main!(benches);
+fn main() {
+    bench_mask_sparsity_streaming();
+    bench_incremental_vs_reencode();
+    bench_fusion_vs_mean_pool();
+}

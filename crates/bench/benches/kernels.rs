@@ -1,33 +1,35 @@
 //! Micro-benchmarks of the tensor kernels and the dynamic-mask builder —
-//! the hot loops under every experiment in this repo.
+//! the hot loops under every experiment in this repo. Runs on the in-tree
+//! `kvec_bench::timing` harness (`cargo bench -p kvec-bench --bench
+//! kernels`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kvec::mask::MaskBuilder;
+use kvec_bench::timing;
 use kvec_data::Key;
 use kvec_tensor::{KvecRng, Tensor};
 use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul() {
+    let mut group = timing::group("matmul");
     for n in [32usize, 64, 128] {
         let mut rng = KvecRng::seed_from_u64(1);
         let a = Tensor::rand_uniform(n, n, -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(n, n, -1.0, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul(&b)))
+        group.bench(format!("nn/{n}"), || {
+            black_box(a.matmul(&b));
         });
-        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul_nt(&b).unwrap()))
+        group.bench(format!("nt/{n}"), || {
+            black_box(a.matmul_nt(&b).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul_tn(&b).unwrap()))
+        group.bench(format!("tn/{n}"), || {
+            black_box(a.matmul_tn(&b).unwrap());
         });
     }
     group.finish();
 }
 
-fn bench_softmax(c: &mut Criterion) {
-    let mut group = c.benchmark_group("softmax_rows");
+fn bench_softmax() {
+    let mut group = timing::group("softmax_rows");
     for t in [64usize, 256] {
         let mut rng = KvecRng::seed_from_u64(2);
         let logits = Tensor::rand_uniform(t, t, -4.0, 4.0, &mut rng);
@@ -37,42 +39,43 @@ fn bench_softmax(c: &mut Criterion) {
                 mask[(i, j)] = f32::NEG_INFINITY;
             }
         }
-        group.bench_with_input(BenchmarkId::new("plain", t), &t, |bench, _| {
-            bench.iter(|| black_box(logits.softmax_rows()))
+        group.bench(format!("plain/{t}"), || {
+            black_box(logits.softmax_rows());
         });
-        group.bench_with_input(BenchmarkId::new("masked", t), &t, |bench, _| {
-            bench.iter(|| black_box(logits.masked_softmax_rows(&mask)))
+        group.bench(format!("masked/{t}"), || {
+            black_box(logits.masked_softmax_rows(&mask));
         });
     }
     group.finish();
 }
 
-fn bench_mask_builder(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dynamic_mask");
+fn bench_mask_builder() {
+    let mut group = timing::group("dynamic_mask");
     for t in [128usize, 512] {
         // A stream over 8 keys with alternating session codes.
         let stream: Vec<(Key, u32)> = (0..t)
             .map(|i| (Key((i % 8) as u64), ((i / 5) % 2) as u32))
             .collect();
-        group.bench_with_input(BenchmarkId::new("push_all", t), &t, |bench, _| {
-            bench.iter(|| {
-                let mut b = MaskBuilder::new(true, true);
-                for &(k, code) in &stream {
-                    black_box(b.push(k, code));
-                }
-                b
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("build_matrix", t), &t, |bench, _| {
+        group.bench(format!("push_all/{t}"), || {
             let mut b = MaskBuilder::new(true, true);
             for &(k, code) in &stream {
-                b.push(k, code);
+                black_box(b.push(k, code));
             }
-            bench.iter(|| black_box(b.build_mask()))
+            black_box(&b);
+        });
+        let mut b = MaskBuilder::new(true, true);
+        for &(k, code) in &stream {
+            b.push(k, code);
+        }
+        group.bench(format!("build_matrix/{t}"), || {
+            black_box(b.build_mask());
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_softmax, bench_mask_builder);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_softmax();
+    bench_mask_builder();
+}

@@ -1,9 +1,10 @@
 //! End-to-end model benchmarks: the teacher-forced training step, the
-//! evaluation forward and the streaming-inference hot path.
+//! evaluation forward and the streaming-inference hot path. Runs on the
+//! in-tree `kvec_bench::timing` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kvec::train::Trainer;
 use kvec::{KvecConfig, KvecModel, StreamingEngine};
+use kvec_bench::timing;
 use kvec_data::synth::{generate_traffic, TrafficConfig};
 use kvec_data::{mixer, TangledSequence};
 use kvec_nn::Session;
@@ -34,29 +35,23 @@ fn model_for(cfg: &TrafficConfig, seed: u64) -> KvecModel {
     KvecModel::new(&mcfg, &mut rng)
 }
 
-fn bench_encode_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode_stream");
+fn bench_encode_forward() {
+    let mut group = timing::group("encode_stream");
     for (k, len) in [(4usize, 16usize), (8, 16), (8, 32)] {
         let (tangled, dcfg) = scenario(k, len, 3);
         let model = model_for(&dcfg, 4);
         let t = tangled.len();
-        group.throughput(Throughput::Elements(t as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("K{k}_len{len}_T{t}")),
-            &t,
-            |bench, _| {
-                bench.iter(|| {
-                    let sess = Session::new();
-                    black_box(model.encode_stream(&sess, &tangled, None).e.value())
-                })
-            },
-        );
+        let stats = group.bench(format!("K{k}_len{len}_T{t}"), || {
+            let sess = Session::new();
+            black_box(model.encode_stream(&sess, &tangled, None).e.value());
+        });
+        println!("    -> {:.0} items/s", t as f64 / (stats.median_ns * 1e-9));
     }
     group.finish();
 }
 
-fn bench_train_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("train_scenario");
+fn bench_train_step() {
+    let mut group = timing::group("train_scenario");
     group.sample_size(10);
     for (k, len) in [(4usize, 16usize), (8, 16)] {
         let (tangled, dcfg) = scenario(k, len, 5);
@@ -67,34 +62,35 @@ fn bench_train_step(c: &mut Criterion) {
             m.d_ff = 64;
             m
         };
-        group.bench_function(BenchmarkId::from_parameter(format!("K{k}_len{len}")), |b| {
-            let mut rng = KvecRng::seed_from_u64(6);
-            let mut model = KvecModel::new(&model_cfg, &mut rng);
-            let mut trainer = Trainer::new(&model_cfg, &model);
-            b.iter(|| black_box(trainer.train_scenario(&mut model, &tangled, &mut rng)))
+        let mut rng = KvecRng::seed_from_u64(6);
+        let mut model = KvecModel::new(&model_cfg, &mut rng);
+        let mut trainer = Trainer::new(&model_cfg, &model);
+        group.bench(format!("K{k}_len{len}"), || {
+            black_box(trainer.train_scenario(&mut model, &tangled, &mut rng));
         });
     }
     group.finish();
 }
 
-fn bench_streaming(c: &mut Criterion) {
-    let mut group = c.benchmark_group("streaming_inference");
+fn bench_streaming() {
+    let mut group = timing::group("streaming_inference");
     for (k, len) in [(8usize, 16usize), (16, 32)] {
         let (tangled, dcfg) = scenario(k, len, 7);
         let model = model_for(&dcfg, 8);
-        group.throughput(Throughput::Elements(tangled.len() as u64));
-        group.bench_function(
-            BenchmarkId::from_parameter(format!("K{k}_len{len}_items{}", tangled.len())),
-            |b| b.iter(|| black_box(StreamingEngine::run(&model, &tangled))),
+        let items = tangled.len();
+        let stats = group.bench(format!("K{k}_len{len}_items{items}"), || {
+            black_box(StreamingEngine::run(&model, &tangled));
+        });
+        println!(
+            "    -> {:.0} items/s",
+            items as f64 / (stats.median_ns * 1e-9)
         );
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_encode_forward,
-    bench_train_step,
-    bench_streaming
-);
-criterion_main!(benches);
+fn main() {
+    bench_encode_forward();
+    bench_train_step();
+    bench_streaming();
+}

@@ -1,14 +1,14 @@
-//! Criterion benches of the parallel backend: register-tiled matmul vs the
-//! serial reference, the attention forward pass, and a data-parallel
-//! training epoch — each across thread counts.
+//! Benches of the parallel backend: register-tiled matmul vs the serial
+//! reference, the attention forward pass, and a data-parallel training
+//! epoch — each across thread counts.
 //!
 //! `bench_parallel` (the companion binary) emits the same measurements as
 //! `BENCH_parallel.json` for the perf trajectory; this harness is for
-//! statistically robust A/B comparisons during kernel work.
+//! quick A/B comparisons during kernel work.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kvec::train::Trainer;
 use kvec::{KvecConfig, KvecModel};
+use kvec_bench::timing;
 use kvec_data::synth::{generate_traffic, TrafficConfig};
 use kvec_data::Dataset;
 use kvec_nn::{AttentionBlock, ParamStore, Session};
@@ -17,28 +17,26 @@ use std::hint::black_box;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel/matmul");
+fn bench_matmul() {
+    let mut group = timing::group("parallel/matmul");
     group.sample_size(20);
     for n in [128usize, 256] {
         let mut rng = KvecRng::seed_from_u64(1);
         let a = Tensor::rand_uniform(n, n, -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(n, n, -1.0, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("reference", n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul_reference(&b).unwrap()))
+        group.bench(format!("reference/{n}"), || {
+            black_box(a.matmul_reference(&b).unwrap());
         });
         for t in THREADS {
-            group.bench_with_input(
-                BenchmarkId::new(format!("blocked_t{t}"), n),
-                &n,
-                |bench, _| bench.iter(|| parallel::with_threads(t, || black_box(a.matmul(&b)))),
-            );
+            group.bench(format!("blocked_t{t}/{n}"), || {
+                parallel::with_threads(t, || black_box(a.matmul(&b)));
+            });
         }
     }
     group.finish();
 }
 
-fn bench_attention_step(c: &mut Criterion) {
+fn bench_attention_step() {
     let (t_len, d_model, heads) = (256usize, 64usize, 4usize);
     let mut store = ParamStore::new();
     let mut rng = KvecRng::seed_from_u64(2);
@@ -48,23 +46,21 @@ fn bench_attention_step(c: &mut Criterion) {
     let x = Tensor::rand_uniform(t_len, d_model, -1.0, 1.0, &mut rng);
     let mask = kvec_nn::causal_mask(t_len);
 
-    let mut group = c.benchmark_group("parallel/attention_step");
+    let mut group = timing::group("parallel/attention_step");
     group.sample_size(20);
     for t in THREADS {
-        group.bench_with_input(BenchmarkId::new("forward", t), &t, |bench, _| {
-            bench.iter(|| {
-                parallel::with_threads(t, || {
-                    let sess = Session::new();
-                    let xv = sess.input(x.clone());
-                    black_box(blk.forward(&sess, &store, xv, &mask, None).0.value())
-                })
-            })
+        group.bench(format!("forward/{t}"), || {
+            parallel::with_threads(t, || {
+                let sess = Session::new();
+                let xv = sess.input(x.clone());
+                black_box(blk.forward(&sess, &store, xv, &mask, None).0.value());
+            });
         });
     }
     group.finish();
 }
 
-fn bench_epoch(c: &mut Criterion) {
+fn bench_epoch() {
     let mut rng = KvecRng::seed_from_u64(3);
     let dcfg = TrafficConfig {
         num_flows: 24,
@@ -78,26 +74,21 @@ fn bench_epoch(c: &mut Criterion) {
     let ds = Dataset::from_pool("bench", dcfg.schema(), 2, pool, 4, &mut rng);
     let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
 
-    let mut group = c.benchmark_group("parallel/train_epoch");
+    let mut group = timing::group("parallel/train_epoch");
     group.sample_size(10);
     for workers in THREADS {
-        group.bench_with_input(
-            BenchmarkId::new("workers", workers),
-            &workers,
-            |bench, _| {
-                let mut rng = KvecRng::seed_from_u64(4);
-                let mut model = KvecModel::new(&cfg, &mut rng);
-                let mut trainer = Trainer::new(&cfg, &model);
-                bench.iter(|| {
-                    black_box(
-                        trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, workers),
-                    )
-                })
-            },
-        );
+        let mut rng = KvecRng::seed_from_u64(4);
+        let mut model = KvecModel::new(&cfg, &mut rng);
+        let mut trainer = Trainer::new(&cfg, &model);
+        group.bench(format!("workers/{workers}"), || {
+            black_box(trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, workers));
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_attention_step, bench_epoch);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_attention_step();
+    bench_epoch();
+}

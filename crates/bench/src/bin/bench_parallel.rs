@@ -12,32 +12,21 @@
 
 use kvec::train::Trainer;
 use kvec::{KvecConfig, KvecModel};
+use kvec_bench::timing::time_best_ms;
 use kvec_data::synth::{generate_traffic, TrafficConfig};
 use kvec_data::Dataset;
+use kvec_json::{Json, ToJson};
 use kvec_nn::{causal_mask, AttentionBlock, ParamStore, Session};
 use kvec_tensor::{parallel, KvecRng, Tensor};
-use serde_json::json;
 use std::hint::black_box;
-use std::time::Instant;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
-
-/// Best-of-`reps` wall-clock of `f`, in milliseconds.
-fn time_best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
 
 fn gflops(m: usize, k: usize, n: usize, ms: f64) -> f64 {
     (2.0 * m as f64 * k as f64 * n as f64) / (ms * 1e-3) / 1e9
 }
 
-fn matmul_sweep() -> serde_json::Value {
+fn matmul_sweep() -> Json {
     let mut out = Vec::new();
     for n in [128usize, 256, 512] {
         let reps = if n >= 512 { 5 } else { 20 };
@@ -47,32 +36,32 @@ fn matmul_sweep() -> serde_json::Value {
         let ref_ms = time_best_ms(reps, || {
             black_box(a.matmul_reference(&b).unwrap());
         });
-        let blocked: Vec<_> = THREADS
+        let blocked: Vec<Json> = THREADS
             .iter()
             .map(|&t| {
                 let ms = time_best_ms(reps, || {
                     parallel::with_threads(t, || black_box(a.matmul(&b)));
                 });
-                json!({
-                    "threads": t,
-                    "ms": ms,
-                    "gflops": gflops(n, n, n, ms),
-                    "speedup_vs_reference": ref_ms / ms,
-                })
+                Json::obj([
+                    ("threads", t.to_json()),
+                    ("ms", ms.to_json()),
+                    ("gflops", gflops(n, n, n, ms).to_json()),
+                    ("speedup_vs_reference", (ref_ms / ms).to_json()),
+                ])
             })
             .collect();
         eprintln!("matmul {n}^3: reference {ref_ms:.3} ms");
-        out.push(json!({
-            "shape": [n, n, n],
-            "reference_ms": ref_ms,
-            "reference_gflops": gflops(n, n, n, ref_ms),
-            "blocked": blocked,
-        }));
+        out.push(Json::obj([
+            ("shape", vec![n, n, n].to_json()),
+            ("reference_ms", ref_ms.to_json()),
+            ("reference_gflops", gflops(n, n, n, ref_ms).to_json()),
+            ("blocked", Json::Arr(blocked)),
+        ]));
     }
-    serde_json::Value::Array(out)
+    Json::Arr(out)
 }
 
-fn attention_sweep() -> serde_json::Value {
+fn attention_sweep() -> Json {
     let (t_len, d_model, heads) = (256usize, 64usize, 4usize);
     let mut store = ParamStore::new();
     let mut rng = KvecRng::seed_from_u64(2);
@@ -92,23 +81,27 @@ fn attention_sweep() -> serde_json::Value {
     };
     let serial_ms = step(1);
     eprintln!("attention step t={t_len}: serial {serial_ms:.3} ms");
-    let sweep: Vec<_> = THREADS
+    let sweep: Vec<Json> = THREADS
         .iter()
         .map(|&t| {
             let ms = step(t);
-            json!({"threads": t, "ms": ms, "speedup_vs_serial": serial_ms / ms})
+            Json::obj([
+                ("threads", t.to_json()),
+                ("ms", ms.to_json()),
+                ("speedup_vs_serial", (serial_ms / ms).to_json()),
+            ])
         })
         .collect();
-    json!({
-        "t": t_len,
-        "d_model": d_model,
-        "heads": heads,
-        "serial_ms": serial_ms,
-        "parallel": sweep,
-    })
+    Json::obj([
+        ("t", t_len.to_json()),
+        ("d_model", d_model.to_json()),
+        ("heads", heads.to_json()),
+        ("serial_ms", serial_ms.to_json()),
+        ("parallel", Json::Arr(sweep)),
+    ])
 }
 
-fn epoch_sweep() -> serde_json::Value {
+fn epoch_sweep() -> Json {
     let mut rng = KvecRng::seed_from_u64(3);
     let dcfg = TrafficConfig {
         num_flows: 48,
@@ -137,29 +130,42 @@ fn epoch_sweep() -> serde_json::Value {
         "epoch ({} scenarios): serial {serial_ms:.1} ms",
         ds.train.len()
     );
-    let sweep: Vec<_> = THREADS
+    let sweep: Vec<Json> = THREADS
         .iter()
         .map(|&w| {
             let ms = epoch_ms(w);
-            json!({"workers": w, "ms": ms, "speedup_vs_serial": serial_ms / ms})
+            Json::obj([
+                ("workers", w.to_json()),
+                ("ms", ms.to_json()),
+                ("speedup_vs_serial", (serial_ms / ms).to_json()),
+            ])
         })
         .collect();
-    json!({
-        "scenarios": ds.train.len(),
-        "serial_ms": serial_ms,
-        "parallel": sweep,
-    })
+    Json::obj([
+        ("scenarios", ds.train.len().to_json()),
+        ("serial_ms", serial_ms.to_json()),
+        ("parallel", Json::Arr(sweep)),
+    ])
 }
 
 fn main() {
-    let report = json!({
-        "generated_by": "cargo run --release -p kvec-bench --bin bench_parallel",
-        "host": {"available_parallelism": parallel::hardware_threads()},
-        "matmul": matmul_sweep(),
-        "attention_step": attention_sweep(),
-        "epoch": epoch_sweep(),
-    });
-    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+    let report = Json::obj([
+        (
+            "generated_by",
+            "cargo run --release -p kvec-bench --bin bench_parallel".to_json(),
+        ),
+        (
+            "host",
+            Json::obj([(
+                "available_parallelism",
+                parallel::hardware_threads().to_json(),
+            )]),
+        ),
+        ("matmul", matmul_sweep()),
+        ("attention_step", attention_sweep()),
+        ("epoch", epoch_sweep()),
+    ]);
+    let pretty = report.dump_pretty();
     std::fs::write("BENCH_parallel.json", &pretty).expect("write BENCH_parallel.json");
     println!("{pretty}");
     eprintln!("wrote BENCH_parallel.json");

@@ -165,7 +165,7 @@ pub fn train_and_eval(
 
 /// One point of an earliness sweep, as cached on disk so Figures 3-6 and
 /// Figure 7 (which share the same training runs) never retrain twice.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Method name.
     pub method: String,
@@ -183,6 +183,36 @@ pub struct SweepPoint {
     pub f1: f32,
     /// Harmonic mean of accuracy and earliness.
     pub hm: f32,
+}
+
+impl kvec_json::ToJson for SweepPoint {
+    fn to_json(&self) -> kvec_json::Json {
+        kvec_json::Json::obj([
+            ("method", self.method.to_json()),
+            ("knob", self.knob.to_json()),
+            ("earliness", self.earliness.to_json()),
+            ("accuracy", self.accuracy.to_json()),
+            ("precision", self.precision.to_json()),
+            ("recall", self.recall.to_json()),
+            ("f1", self.f1.to_json()),
+            ("hm", self.hm.to_json()),
+        ])
+    }
+}
+
+impl kvec_json::FromJson for SweepPoint {
+    fn from_json(j: &kvec_json::Json) -> Result<Self, kvec_json::JsonError> {
+        Ok(Self {
+            method: String::from_json(j.get("method")?)?,
+            knob: f32::from_json(j.get("knob")?)?,
+            earliness: f32::from_json(j.get("earliness")?)?,
+            accuracy: f32::from_json(j.get("accuracy")?)?,
+            precision: f32::from_json(j.get("precision")?)?,
+            recall: f32::from_json(j.get("recall")?)?,
+            f1: f32::from_json(j.get("f1")?)?,
+            hm: f32::from_json(j.get("hm")?)?,
+        })
+    }
 }
 
 impl SweepPoint {
@@ -213,7 +243,7 @@ fn sweep_cache_path(dataset: &str, epochs: usize, seed: u64) -> std::path::PathB
 pub fn sweep_dataset(name: &str, epochs: usize, seed: u64) -> Vec<SweepPoint> {
     let path = sweep_cache_path(name, epochs, seed);
     if let Ok(json) = std::fs::read_to_string(&path) {
-        if let Ok(points) = serde_json::from_str::<Vec<SweepPoint>>(&json) {
+        if let Ok(points) = kvec_json::decode::<Vec<SweepPoint>>(&json) {
             eprintln!("[sweep] loaded cached results from {}", path.display());
             return points;
         }
@@ -235,9 +265,7 @@ pub fn sweep_dataset(name: &str, epochs: usize, seed: u64) -> Vec<SweepPoint> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).ok();
     }
-    if let Ok(json) = serde_json::to_string(&points) {
-        std::fs::write(&path, json).ok();
-    }
+    std::fs::write(&path, kvec_json::encode(&points)).ok();
     points
 }
 

@@ -1,7 +1,8 @@
 //! # kvec-bench
 //!
 //! The experiment harness regenerating every table and figure of the KVEC
-//! paper's evaluation (Section V), plus Criterion micro-benchmarks.
+//! paper's evaluation (Section V), plus zero-dependency micro-benchmarks
+//! (see [`timing`]).
 //!
 //! One binary per experiment (see `DESIGN.md` for the full index):
 //!
@@ -22,3 +23,4 @@
 
 pub mod datasets;
 pub mod harness;
+pub mod timing;

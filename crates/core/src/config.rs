@@ -162,7 +162,7 @@ impl KvecConfig {
         assert!(self.num_classes >= 2, "need at least two classes");
         assert!(self.d_model > 0 && self.n_blocks > 0, "degenerate model");
         assert!(
-            self.n_heads >= 1 && self.d_model % self.n_heads == 0,
+            self.n_heads >= 1 && self.d_model.is_multiple_of(self.n_heads),
             "d_model must divide by n_heads"
         );
         assert!(

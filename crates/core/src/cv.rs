@@ -136,12 +136,16 @@ mod tests {
 
     #[test]
     fn summarize_matches_manual_average() {
-        let mut a = EvalReport::default();
-        a.accuracy = 0.8;
-        a.hm = 0.6;
-        let mut b = EvalReport::default();
-        b.accuracy = 0.4;
-        b.hm = 0.2;
+        let a = EvalReport {
+            accuracy: 0.8,
+            hm: 0.6,
+            ..Default::default()
+        };
+        let b = EvalReport {
+            accuracy: 0.4,
+            hm: 0.2,
+            ..Default::default()
+        };
         let cv = summarize(vec![a, b]);
         assert!((cv.accuracy.mean - 0.6).abs() < 1e-6);
         assert!((cv.hm.mean - 0.4).abs() < 1e-6);

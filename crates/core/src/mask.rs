@@ -261,8 +261,8 @@ mod tests {
         let t = 5;
         // Item 1 (key A, dir 0): item 0 is both same-key and in a matching
         // trailing session of... no other key exists; it's key-correlated.
-        assert_eq!(dm.kinds[t + 0], EdgeKind::Key);
-        assert_eq!(dm.kinds[2 * t + 0], EdgeKind::Value, "cross-key edge");
+        assert_eq!(dm.kinds[t], EdgeKind::Key);
+        assert_eq!(dm.kinds[2 * t], EdgeKind::Value, "cross-key edge");
         assert_eq!(dm.kinds[0], EdgeKind::SelfEdge);
     }
 

@@ -99,7 +99,7 @@ impl ConfusionMatrix {
                     continue;
                 }
                 let n = self.get(l, p);
-                if n > 0 && best.map_or(true, |(_, _, b)| n > b) {
+                if n > 0 && best.is_none_or(|(_, _, b)| n > b) {
                     best = Some((l, p, n));
                 }
             }

@@ -1,49 +1,57 @@
 //! Property-based tests of the dynamic-mask invariants — the heart of the
-//! paper's representation learning.
+//! paper's representation learning. (Ported from proptest to the in-tree
+//! `kvec-check` harness.)
 
 use kvec::mask::{build_mask, EdgeKind};
+use kvec_check::{check, Gen};
 use kvec_data::{Item, Key, TangledSequence};
-use proptest::prelude::*;
 
-/// Random tangled streams: up to 5 keys, binary session codes.
-fn stream_strategy() -> impl Strategy<Value = TangledSequence> {
-    proptest::collection::vec((0u64..5, 0u32..2), 1..30).prop_map(|raw| {
-        let items: Vec<Item> = raw
-            .iter()
-            .enumerate()
-            .map(|(t, &(k, code))| Item::new(Key(k), vec![code], t as u64))
-            .collect();
-        let mut keys: Vec<u64> = raw.iter().map(|&(k, _)| k).collect();
-        keys.sort_unstable();
-        keys.dedup();
-        let labels = keys.into_iter().map(|k| (Key(k), 0usize)).collect();
-        TangledSequence::new(items, labels)
-    })
+/// Random tangled streams: up to 5 keys, binary session codes, 1..30 items.
+fn gen_stream(g: &mut Gen) -> TangledSequence {
+    let len = g.usize_in(1, 30);
+    let raw: Vec<(u64, u32)> = (0..len).map(|_| (g.u64() % 5, g.u32_below(2))).collect();
+    let items: Vec<Item> = raw
+        .iter()
+        .enumerate()
+        .map(|(t, &(k, code))| Item::new(Key(k), vec![code], t as u64))
+        .collect();
+    let mut keys: Vec<u64> = raw.iter().map(|&(k, _)| k).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let labels = keys.into_iter().map(|k| (Key(k), 0usize)).collect();
+    TangledSequence::new(items, labels)
 }
 
-proptest! {
-    #[test]
-    fn diagonal_always_visible(t in stream_strategy()) {
+#[test]
+fn diagonal_always_visible() {
+    check("diagonal_always_visible", |g| {
+        let t = gen_stream(g);
         let dm = build_mask(&t, 0, true, true);
         for i in 0..t.len() {
-            prop_assert_eq!(dm.mask[(i, i)], 0.0);
+            assert_eq!(dm.mask[(i, i)], 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn strict_causality(t in stream_strategy()) {
+#[test]
+fn strict_causality() {
+    check("strict_causality", |g| {
+        let t = gen_stream(g);
         for (uk, uv) in [(true, true), (true, false), (false, true), (false, false)] {
             let dm = build_mask(&t, 0, uk, uv);
             for i in 0..t.len() {
                 for j in (i + 1)..t.len() {
-                    prop_assert_eq!(dm.mask[(i, j)], f32::NEG_INFINITY);
+                    assert_eq!(dm.mask[(i, j)], f32::NEG_INFINITY);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn edges_grow_monotonically_with_enabled_correlations(t in stream_strategy()) {
+#[test]
+fn edges_grow_monotonically_with_enabled_correlations() {
+    check("edges_grow_monotonically_with_enabled_correlations", |g| {
+        let t = gen_stream(g);
         let count = |uk: bool, uv: bool| {
             let dm = build_mask(&t, 0, uk, uv);
             dm.mask.data().iter().filter(|&&v| v == 0.0).count()
@@ -52,61 +60,73 @@ proptest! {
         let key_only = count(true, false);
         let value_only = count(false, true);
         let both = count(true, true);
-        prop_assert!(key_only >= none);
-        prop_assert!(value_only >= none);
-        prop_assert!(both >= key_only.max(value_only));
+        assert!(key_only >= none);
+        assert!(value_only >= none);
+        assert!(both >= key_only.max(value_only));
         // With both off, exactly the diagonal survives.
-        prop_assert_eq!(none, t.len());
-    }
+        assert_eq!(none, t.len());
+    });
+}
 
-    #[test]
-    fn key_edges_never_cross_keys_and_value_edges_always_do(t in stream_strategy()) {
-        let dm = build_mask(&t, 0, true, true);
-        let n = t.len();
-        for i in 0..n {
-            for j in 0..n {
-                match dm.kinds[i * n + j] {
-                    EdgeKind::Key => {
-                        prop_assert_eq!(t.items[i].key, t.items[j].key);
-                        prop_assert!(j < i, "key edge must point backwards");
+#[test]
+fn key_edges_never_cross_keys_and_value_edges_always_do() {
+    check(
+        "key_edges_never_cross_keys_and_value_edges_always_do",
+        |g| {
+            let t = gen_stream(g);
+            let dm = build_mask(&t, 0, true, true);
+            let n = t.len();
+            for i in 0..n {
+                for j in 0..n {
+                    match dm.kinds[i * n + j] {
+                        EdgeKind::Key => {
+                            assert_eq!(t.items[i].key, t.items[j].key);
+                            assert!(j < i, "key edge must point backwards");
+                        }
+                        EdgeKind::Value => {
+                            assert_ne!(t.items[i].key, t.items[j].key);
+                            assert!(j < i);
+                            // A value edge requires matching session codes.
+                            assert_eq!(t.items[i].value[0], t.items[j].value[0]);
+                        }
+                        EdgeKind::SelfEdge => assert_eq!(i, j),
+                        EdgeKind::None => {}
                     }
-                    EdgeKind::Value => {
-                        prop_assert_ne!(t.items[i].key, t.items[j].key);
-                        prop_assert!(j < i);
-                        // A value edge requires matching session codes.
-                        prop_assert_eq!(t.items[i].value[0], t.items[j].value[0]);
-                    }
-                    EdgeKind::SelfEdge => prop_assert_eq!(i, j),
-                    EdgeKind::None => {}
                 }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn key_correlation_is_complete_within_a_key(t in stream_strategy()) {
+#[test]
+fn key_correlation_is_complete_within_a_key() {
+    check("key_correlation_is_complete_within_a_key", |g| {
+        let t = gen_stream(g);
         // With key correlation on, every pair (i, j<i) of the same key is
         // visible.
         let dm = build_mask(&t, 0, true, false);
         for i in 0..t.len() {
             for j in 0..i {
                 if t.items[i].key == t.items[j].key {
-                    prop_assert_eq!(dm.mask[(i, j)], 0.0, "({}, {})", i, j);
+                    assert_eq!(dm.mask[(i, j)], 0.0, "({i}, {j})");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn kinds_and_mask_agree(t in stream_strategy()) {
+#[test]
+fn kinds_and_mask_agree() {
+    check("kinds_and_mask_agree", |g| {
+        let t = gen_stream(g);
         let dm = build_mask(&t, 0, true, true);
         let n = t.len();
         for i in 0..n {
             for j in 0..n {
                 let visible = dm.mask[(i, j)] == 0.0;
                 let kind = dm.kinds[i * n + j];
-                prop_assert_eq!(visible, kind != EdgeKind::None, "({}, {})", i, j);
+                assert_eq!(visible, kind != EdgeKind::None, "({i}, {j})");
             }
         }
-    }
+    });
 }

@@ -1,12 +1,12 @@
 //! A ready-to-train dataset: schema + tangled scenarios per split.
 
 use crate::{mixer, split, LabeledSequence, TangledSequence, ValueSchema};
+use kvec_json::{FromJson, Json, JsonError, ToJson};
 use kvec_tensor::KvecRng;
-use serde::{Deserialize, Serialize};
 
 /// A fully prepared dataset: key-disjoint train/val/test splits, each
 /// tangled into scenarios of `k_concurrent` concurrent sequences.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Dataset name (e.g. `"traffic-fg"`).
     pub name: String,
@@ -22,6 +22,34 @@ pub struct Dataset {
     pub val: Vec<TangledSequence>,
     /// Test scenarios.
     pub test: Vec<TangledSequence>,
+}
+
+impl ToJson for Dataset {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("schema", self.schema.to_json()),
+            ("num_classes", self.num_classes.to_json()),
+            ("k_concurrent", self.k_concurrent.to_json()),
+            ("train", self.train.to_json()),
+            ("val", self.val.to_json()),
+            ("test", self.test.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Dataset {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: String::from_json(j.get("name")?)?,
+            schema: ValueSchema::from_json(j.get("schema")?)?,
+            num_classes: usize::from_json(j.get("num_classes")?)?,
+            k_concurrent: usize::from_json(j.get("k_concurrent")?)?,
+            train: Vec::from_json(j.get("train")?)?,
+            val: Vec::from_json(j.get("val")?)?,
+            test: Vec::from_json(j.get("test")?)?,
+        })
+    }
 }
 
 impl Dataset {
@@ -151,12 +179,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut rng = KvecRng::seed_from_u64(3);
         let ds = Dataset::from_pool("toy", schema(), 2, pool(10), 2, &mut rng);
-        let json = serde_json::to_string(&ds).unwrap();
-        let back: Dataset = serde_json::from_str(&json).unwrap();
+        let json = kvec_json::encode(&ds);
+        let back: Dataset = kvec_json::decode(&json).unwrap();
         assert_eq!(ds.total_items(), back.total_items());
         assert_eq!(ds.name, back.name);
+        assert_eq!(ds.train, back.train);
+        assert_eq!(ds.schema, back.schema);
     }
 }

@@ -8,9 +8,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Saves a dataset as pretty-printed JSON.
+/// Saves a dataset as compact JSON.
 pub fn save_dataset(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
-    let json = serde_json::to_string(ds).map_err(io::Error::other)?;
+    let json = kvec_json::encode(ds);
     if let Some(parent) = path.as_ref().parent() {
         fs::create_dir_all(parent)?;
     }
@@ -20,7 +20,7 @@ pub fn save_dataset(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
 /// Loads a dataset previously written by [`save_dataset`].
 pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<Dataset> {
     let json = fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(io::Error::other)
+    kvec_json::decode(&json).map_err(io::Error::other)
 }
 
 #[cfg(test)]

@@ -1,20 +1,32 @@
 //! Items, keys and per-key labeled sequences.
 
-use serde::{Deserialize, Serialize};
+use kvec_json::{FromJson, Json, JsonError, ToJson};
 
 /// The key field of an item: the identity of the key-value sequence it
 /// belongs to (a flow five-tuple hash, a user id, ...).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Key(pub u64);
+
+// A newtype serializes as its inner value (serde's convention, kept for
+// artifact compatibility): `Key(7)` is just `7` on the wire.
+impl ToJson for Key {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Key {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        u64::from_json(j).map(Key)
+    }
+}
 
 /// One item `<k, v>` of a tangled key-value sequence.
 ///
 /// The value is a vector of categorical field codes; [`crate::ValueSchema`]
 /// gives each field its cardinality and designates the *session field* used
 /// by the value-correlation structure.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Item {
     /// The sequence this item belongs to.
     pub key: Key,
@@ -22,6 +34,26 @@ pub struct Item {
     pub value: Vec<u32>,
     /// Arrival time (a global logical clock in the synthetic datasets).
     pub time: u64,
+}
+
+impl ToJson for Item {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("key", self.key.to_json()),
+            ("value", self.value.to_json()),
+            ("time", self.time.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Item {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            key: Key::from_json(j.get("key")?)?,
+            value: Vec::from_json(j.get("value")?)?,
+            time: u64::from_json(j.get("time")?)?,
+        })
+    }
 }
 
 impl Item {
@@ -35,7 +67,7 @@ impl Item {
 ///
 /// Generators produce these; [`crate::mixer`] interleaves them into
 /// [`crate::TangledSequence`] scenarios.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LabeledSequence {
     /// The shared key.
     pub key: Key,
@@ -46,6 +78,28 @@ pub struct LabeledSequence {
     /// Ground-truth halting position for datasets that define one (the
     /// paper's Synthetic-Traffic early-/late-stop data); `None` elsewhere.
     pub true_stop: Option<usize>,
+}
+
+impl ToJson for LabeledSequence {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("key", self.key.to_json()),
+            ("label", self.label.to_json()),
+            ("values", self.values.to_json()),
+            ("true_stop", self.true_stop.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LabeledSequence {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            key: Key::from_json(j.get("key")?)?,
+            label: usize::from_json(j.get("label")?)?,
+            values: Vec::from_json(j.get("values")?)?,
+            true_stop: Option::from_json(j.get("true_stop")?)?,
+        })
+    }
 }
 
 impl LabeledSequence {
@@ -98,10 +152,29 @@ mod tests {
     }
 
     #[test]
-    fn item_serde_round_trip() {
+    fn item_json_round_trip() {
         let it = Item::new(Key(9), vec![4, 5, 6], 100);
-        let json = serde_json::to_string(&it).unwrap();
-        let back: Item = serde_json::from_str(&json).unwrap();
+        let json = kvec_json::encode(&it);
+        let back: Item = kvec_json::decode(&json).unwrap();
         assert_eq!(it, back);
+    }
+
+    #[test]
+    fn key_survives_full_u64_range() {
+        // Keys are five-tuple hashes in real captures: the wire format must
+        // not squash them through f64.
+        let k = Key(u64::MAX - 3);
+        let back: Key = kvec_json::decode(&kvec_json::encode(&k)).unwrap();
+        assert_eq!(back, k);
+    }
+
+    #[test]
+    fn labeled_sequence_json_round_trip_with_and_without_stop() {
+        let mut s = LabeledSequence::new(Key(5), 1, vec![vec![0, 1], vec![2, 3]]);
+        let back: LabeledSequence = kvec_json::decode(&kvec_json::encode(&s)).unwrap();
+        assert_eq!(back, s);
+        s.true_stop = Some(1);
+        let back: LabeledSequence = kvec_json::decode(&kvec_json::encode(&s)).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -1,6 +1,6 @@
 //! Value-field schema.
 
-use serde::{Deserialize, Serialize};
+use kvec_json::{FromJson, Json, JsonError, ToJson};
 
 /// Describes the value fields of a dataset's items.
 ///
@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// sharing the session-field value form a *session* — the paper's value
 /// correlation structure (packet bursts of one transmission direction,
 /// genre runs of one user's ratings).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValueSchema {
     /// Human-readable field names (e.g. `["direction", "size_bucket"]`).
     pub field_names: Vec<String>,
@@ -17,6 +17,37 @@ pub struct ValueSchema {
     pub cardinalities: Vec<usize>,
     /// Index of the session field within `field_names`/`cardinalities`.
     pub session_field: usize,
+}
+
+impl ToJson for ValueSchema {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("field_names", self.field_names.to_json()),
+            ("cardinalities", self.cardinalities.to_json()),
+            ("session_field", self.session_field.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ValueSchema {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let field_names: Vec<String> = Vec::from_json(j.get("field_names")?)?;
+        let cardinalities: Vec<usize> = Vec::from_json(j.get("cardinalities")?)?;
+        let session_field = usize::from_json(j.get("session_field")?)?;
+        // Re-validate `new`'s invariants as errors, not panics: a malformed
+        // dataset file must fail the load, not abort the process.
+        if field_names.len() != cardinalities.len()
+            || session_field >= field_names.len()
+            || cardinalities.contains(&0)
+        {
+            return Err(JsonError::new("inconsistent ValueSchema in JSON"));
+        }
+        Ok(Self {
+            field_names,
+            cardinalities,
+            session_field,
+        })
+    }
 }
 
 impl ValueSchema {

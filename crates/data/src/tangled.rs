@@ -2,7 +2,7 @@
 //! several concurrent key-value sequences.
 
 use crate::{Item, Key};
-use serde::{Deserialize, Serialize};
+use kvec_json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 /// One *scenario*: a chronological stream mixing `K` concurrent key-value
@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 ///
 /// This is the unit the KVEC trainer consumes (Algorithm 1 iterates over
 /// tangled sequences) and the unit the streaming inference engine replays.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TangledSequence {
     /// Items in arrival order (`time` is non-decreasing).
     pub items: Vec<Item>,
@@ -19,6 +19,26 @@ pub struct TangledSequence {
     /// Ground-truth halting position per key (item index within that key's
     /// sub-sequence), for datasets that define one.
     pub true_stops: Vec<(Key, usize)>,
+}
+
+impl ToJson for TangledSequence {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("items", self.items.to_json()),
+            ("labels", self.labels.to_json()),
+            ("true_stops", self.true_stops.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TangledSequence {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            items: Vec::from_json(j.get("items")?)?,
+            labels: Vec::from_json(j.get("labels")?)?,
+            true_stops: Vec::from_json(j.get("true_stops")?)?,
+        })
+    }
 }
 
 impl TangledSequence {
@@ -174,10 +194,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = sample();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: TangledSequence = serde_json::from_str(&json).unwrap();
+        let json = kvec_json::encode(&t);
+        let back: TangledSequence = kvec_json::decode(&json).unwrap();
         assert_eq!(t, back);
     }
 }

@@ -1,109 +1,142 @@
-//! Property-based tests of the data-model invariants.
+//! Property-based tests of the data-model invariants (ported from proptest
+//! to the in-tree `kvec-check` harness).
 
+use kvec_check::{check, check_n, Gen};
 use kvec_data::{mixer, session_ids, session_lengths, split, Key, LabeledSequence};
 use kvec_tensor::KvecRng;
-use proptest::prelude::*;
 
-fn pool_strategy() -> impl Strategy<Value = Vec<LabeledSequence>> {
-    proptest::collection::vec(
-        (
-            0usize..4,
-            proptest::collection::vec(proptest::collection::vec(0u32..4, 2), 1..12),
-        ),
-        2..20,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (label, values))| LabeledSequence::new(Key(i as u64), label, values))
-            .collect()
-    })
+/// 2..min_len+20 labeled sequences with 1..12 two-field values each.
+fn gen_pool(g: &mut Gen, min_len: usize) -> Vec<LabeledSequence> {
+    let n = g.usize_in(min_len.max(2), 20);
+    (0..n)
+        .map(|i| {
+            let label = g.usize_in(0, 4);
+            let len = g.usize_in(1, 12);
+            let values = (0..len)
+                .map(|_| vec![g.u32_below(4), g.u32_below(4)])
+                .collect();
+            LabeledSequence::new(Key(i as u64), label, values)
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn session_ids_are_monotone_and_dense(codes in proptest::collection::vec(0u32..3, 0..40)) {
+#[test]
+fn session_ids_are_monotone_and_dense() {
+    check("session_ids_are_monotone_and_dense", |g| {
+        let len = g.usize_in(0, 40);
+        let codes: Vec<u32> = (0..len).map(|_| g.u32_below(3)).collect();
         let ids = session_ids(&codes);
-        prop_assert_eq!(ids.len(), codes.len());
+        assert_eq!(ids.len(), codes.len());
         for w in ids.windows(2) {
-            prop_assert!(w[1] == w[0] || w[1] == w[0] + 1, "ids must step by 0/1");
+            assert!(w[1] == w[0] || w[1] == w[0] + 1, "ids must step by 0/1");
         }
         let lens = session_lengths(&codes);
-        prop_assert_eq!(lens.iter().sum::<usize>(), codes.len());
-        prop_assert!(lens.iter().all(|&l| l > 0));
+        assert_eq!(lens.iter().sum::<usize>(), codes.len());
+        assert!(lens.iter().all(|&l| l > 0));
         if let Some(&last) = ids.last() {
-            prop_assert_eq!(lens.len(), last + 1);
+            assert_eq!(lens.len(), last + 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn tangling_preserves_items_and_per_key_order(pool in pool_strategy(), seed in 0u64..1000) {
-        let mut rng = KvecRng::seed_from_u64(seed);
+#[test]
+fn tangling_preserves_items_and_per_key_order() {
+    check("tangling_preserves_items_and_per_key_order", |g| {
+        let pool = gen_pool(g, 2);
+        let mut rng = KvecRng::seed_from_u64(g.u64());
         let tangled = mixer::tangle_group(&pool, &mut rng);
         let total: usize = pool.iter().map(LabeledSequence::len).sum();
-        prop_assert_eq!(tangled.len(), total);
+        assert_eq!(tangled.len(), total);
         for (key, rows) in tangled.key_subsequences() {
             let original = pool.iter().find(|s| s.key == key).unwrap();
             let mixed: Vec<&Vec<u32>> = rows.iter().map(|&i| &tangled.items[i].value).collect();
-            prop_assert_eq!(mixed.len(), original.len());
+            assert_eq!(mixed.len(), original.len());
             for (m, o) in mixed.iter().zip(&original.values) {
-                prop_assert_eq!(*m, o);
+                assert_eq!(*m, o);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn scenarios_partition_the_pool(pool in pool_strategy(), k in 1usize..6, seed in 0u64..1000) {
-        let mut rng = KvecRng::seed_from_u64(seed);
+#[test]
+fn scenarios_partition_the_pool() {
+    check("scenarios_partition_the_pool", |g| {
+        let pool = gen_pool(g, 2);
+        let k = g.usize_in(1, 6);
+        let mut rng = KvecRng::seed_from_u64(g.u64());
         let scenarios = mixer::tangle_scenarios(&pool, k, &mut rng);
         let keys: usize = scenarios.iter().map(|t| t.num_keys()).sum();
-        prop_assert_eq!(keys, pool.len());
+        assert_eq!(keys, pool.len());
         let items: usize = scenarios.iter().map(|t| t.len()).sum();
-        prop_assert_eq!(items, pool.iter().map(LabeledSequence::len).sum::<usize>());
+        assert_eq!(items, pool.iter().map(LabeledSequence::len).sum::<usize>());
         for s in &scenarios {
-            prop_assert!(s.num_keys() <= k);
+            assert!(s.num_keys() <= k);
         }
-    }
+    });
+}
 
-    #[test]
-    fn split_is_a_key_partition(pool in pool_strategy(), seed in 0u64..1000) {
-        let mut rng = KvecRng::seed_from_u64(seed);
+#[test]
+fn split_is_a_key_partition() {
+    check("split_is_a_key_partition", |g| {
+        let pool = gen_pool(g, 2);
+        let mut rng = KvecRng::seed_from_u64(g.u64());
         let n = pool.len();
         let s = split::split_by_key(pool, 0.6, 0.2, &mut rng);
         let collect = |v: &[LabeledSequence]| {
-            v.iter().map(|x| x.key.0).collect::<std::collections::BTreeSet<_>>()
+            v.iter()
+                .map(|x| x.key.0)
+                .collect::<std::collections::BTreeSet<_>>()
         };
         let (a, b, c) = (collect(&s.train), collect(&s.val), collect(&s.test));
-        prop_assert!(a.is_disjoint(&b));
-        prop_assert!(a.is_disjoint(&c));
-        prop_assert!(b.is_disjoint(&c));
-        prop_assert_eq!(a.len() + b.len() + c.len(), n);
-        prop_assert!(!a.is_empty(), "train split must not be empty");
-    }
+        assert!(a.is_disjoint(&b));
+        assert!(a.is_disjoint(&c));
+        assert!(b.is_disjoint(&c));
+        assert_eq!(a.len() + b.len() + c.len(), n);
+        assert!(!a.is_empty(), "train split must not be empty");
+    });
+}
 
-    #[test]
-    fn k_folds_test_each_key_once(pool in pool_strategy(), seed in 0u64..1000) {
-        prop_assume!(pool.len() >= 4);
-        let mut rng = KvecRng::seed_from_u64(seed);
+#[test]
+fn k_folds_test_each_key_once() {
+    check("k_folds_test_each_key_once", |g| {
+        // k_folds needs at least as many keys as folds.
+        let pool = gen_pool(g, 4);
+        let mut rng = KvecRng::seed_from_u64(g.u64());
         let folds = split::k_folds(&pool, 4, &mut rng);
         let mut seen = std::collections::BTreeSet::new();
         for (train, test) in &folds {
-            prop_assert_eq!(train.len() + test.len(), pool.len());
+            assert_eq!(train.len() + test.len(), pool.len());
             for s in test {
-                prop_assert!(seen.insert(s.key.0), "key tested twice");
+                assert!(seen.insert(s.key.0), "key tested twice");
             }
         }
-        prop_assert_eq!(seen.len(), pool.len());
-    }
+        assert_eq!(seen.len(), pool.len());
+    });
+}
 
-    #[test]
-    fn prefix_is_a_true_prefix(pool in pool_strategy(), n in 0usize..30, seed in 0u64..1000) {
-        let mut rng = KvecRng::seed_from_u64(seed);
+#[test]
+fn prefix_is_a_true_prefix() {
+    check("prefix_is_a_true_prefix", |g| {
+        let pool = gen_pool(g, 2);
+        let n = g.usize_in(0, 30);
+        let mut rng = KvecRng::seed_from_u64(g.u64());
         let tangled = mixer::tangle_group(&pool, &mut rng);
         let p = tangled.prefix(n);
-        prop_assert_eq!(p.len(), n.min(tangled.len()));
+        assert_eq!(p.len(), n.min(tangled.len()));
         for (a, b) in p.items.iter().zip(&tangled.items) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
+
+#[test]
+fn tangled_json_round_trip() {
+    check_n("tangled_json_round_trip", 64, |g| {
+        let pool = gen_pool(g, 2);
+        let mut rng = KvecRng::seed_from_u64(g.u64());
+        let tangled = mixer::tangle_group(&pool, &mut rng);
+        let back: kvec_data::TangledSequence =
+            kvec_json::decode(&kvec_json::encode(&tangled)).unwrap();
+        assert_eq!(back, tangled);
+    });
 }

@@ -1,0 +1,136 @@
+//! The JSON value model and its accessors.
+
+use crate::JsonError;
+
+/// A parsed JSON document.
+///
+/// Numbers keep their lexical class: integer literals (no fraction, no
+/// exponent) become [`Json::Int`] so 64-bit keys round-trip exactly;
+/// everything else becomes [`Json::Float`]. Object member order is
+/// preserved (checkpoint loading is order-sensitive).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal. `i128` covers the full `u64` and `i64` ranges.
+    Int(i128),
+    /// A fractional or exponent-form number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(name, value)` pairs.
+    pub fn obj(members: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// A short name of this value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "integer",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Looks up an object member; errors if `self` is not an object or the
+    /// member is absent.
+    pub fn get(&self, name: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(members) => members
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing object member `{name}`"))),
+            other => Err(JsonError::new(format!(
+                "expected object with member `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The members of an object.
+    pub fn as_obj(&self) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Obj(members) => Ok(members),
+            other => Err(JsonError::new(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The elements of an array.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Numeric payload widened to `f64` (accepts both number classes).
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Int(n) => Ok(*n as f64),
+            Json::Float(f) => Ok(*f),
+            other => Err(JsonError::new(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_accessors() {
+        let j = Json::obj([
+            ("a", Json::Int(1)),
+            ("b", Json::arr([Json::Null, Json::Bool(true)])),
+        ]);
+        assert_eq!(j.get("a").unwrap(), &Json::Int(1));
+        assert_eq!(j.get("b").unwrap().as_arr().unwrap().len(), 2);
+        assert!(j.get("c").unwrap_err().to_string().contains("`c`"));
+        assert!(Json::Null.get("x").is_err());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Json::Float(1.5).kind(), "float");
+        assert_eq!(Json::Obj(vec![]).kind(), "object");
+    }
+}

@@ -1,0 +1,159 @@
+//! Compact and pretty JSON writers.
+
+use crate::Json;
+use std::fmt::Write as _;
+
+impl Json {
+    /// Serializes as compact JSON (no whitespace).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation.
+    pub fn dump_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, indent: Option<usize>, level: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::Float(f) => write_f64(out, *f),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+/// Non-finite floats have no JSON representation; write `null` (the same
+/// choice `serde_json` makes), so a NaN metric degrades visibly instead of
+/// producing an unparseable file.
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's shortest-round-trip formatting; force a `.0` onto integral
+    // values so the token re-parses as a float, preserving the number class.
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_reparses() {
+        let j = Json::obj([
+            ("s", Json::Str("a\"b\\c\n\u{0001}".into())),
+            ("n", Json::Int(-7)),
+            ("f", Json::Float(0.25)),
+            ("a", Json::arr([Json::Null, Json::Bool(true)])),
+            ("o", Json::Obj(vec![])),
+        ]);
+        let text = j.dump();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+        assert!(!text.contains('\n'), "compact output has newlines");
+    }
+
+    #[test]
+    fn pretty_output_reparses_and_indents() {
+        let j = Json::obj([("a", Json::arr([Json::Int(1), Json::Int(2)]))]);
+        let text = j.dump_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+        assert!(text.contains("\n  "), "pretty output is not indented");
+    }
+
+    #[test]
+    fn floats_keep_their_number_class() {
+        assert_eq!(Json::Float(3.0).dump(), "3.0");
+        assert_eq!(Json::parse("3.0").unwrap(), Json::Float(3.0));
+        assert_eq!(Json::Float(f64::NAN).dump(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).dump(), "null");
+    }
+
+    #[test]
+    fn shortest_round_trip_floats() {
+        for f in [0.1f64, 1e-8, 123456.789, -2.5e300, f64::MIN_POSITIVE] {
+            let Json::Float(back) = Json::parse(&Json::Float(f).dump()).unwrap() else {
+                panic!("float did not reparse as float");
+            };
+            assert_eq!(back, f);
+        }
+    }
+}

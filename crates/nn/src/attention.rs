@@ -105,7 +105,7 @@ impl AttentionBlock {
         store: &ParamStore,
         x: Var<'s>,
         mask: &Tensor,
-        mut rng: Option<&mut KvecRng>,
+        rng: Option<&mut KvecRng>,
     ) -> (Var<'s>, AttentionTrace) {
         let (t, d) = x.shape();
         assert_eq!(d, self.d_model, "attention input width mismatch");
@@ -154,7 +154,7 @@ impl AttentionBlock {
             out = out.add(x);
         }
         let ffn_out = self.ffn.forward(sess, store, out);
-        let ffn_out = self.dropout.forward(sess, ffn_out, rng.as_deref_mut());
+        let ffn_out = self.dropout.forward(sess, ffn_out, rng);
         let out = if self.use_residual {
             ffn_out.add(out)
         } else {

@@ -148,14 +148,16 @@ impl ParamStore {
             .any(|e| e.value.has_non_finite() || e.grad.has_non_finite())
     }
 
-    /// Writes a checkpoint of every parameter (name + tensor) as JSON.
+    /// Writes a checkpoint of every parameter (name + tensor) as JSON
+    /// (an array of `[name, tensor]` pairs, the same layout the earlier
+    /// serde-based format produced).
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let dump: Vec<(&str, &Tensor)> = self
             .entries
             .iter()
             .map(|e| (e.name.as_str(), &e.value))
             .collect();
-        let json = serde_json::to_string(&dump).map_err(std::io::Error::other)?;
+        let json = kvec_json::encode(&dump);
         if let Some(parent) = path.as_ref().parent() {
             std::fs::create_dir_all(parent)?;
         }
@@ -169,7 +171,7 @@ impl ParamStore {
     pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let json = std::fs::read_to_string(path)?;
         let dump: Vec<(String, Tensor)> =
-            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+            kvec_json::decode(&json).map_err(std::io::Error::other)?;
         if dump.len() != self.entries.len() {
             return Err(std::io::Error::other(format!(
                 "checkpoint has {} parameters, model has {}",

@@ -118,6 +118,7 @@ fn nn_block(a: &[f32], b: &[f32], k: usize, n: usize, i0: usize, rows: usize, ou
 /// `out[i0..i0+rows] = (a^T)[i0..i0+rows] * b` for `a (k x m)`, `b (k x n)`.
 /// Identical tiling to [`nn_block`]; the `MR` scalars of `a` per step are
 /// contiguous (`a[p][col..col+MR]`) rather than strided.
+#[allow(clippy::too_many_arguments)] // flat kernel signature, mirrors nn_block
 fn tn_block(
     a: &[f32],
     b: &[f32],

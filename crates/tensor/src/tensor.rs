@@ -8,27 +8,30 @@ use std::ops::{Index, IndexMut};
 /// parameters, embedding matrices, attention logits, gradients and metric
 /// accumulators are all `Tensor`s. Serialization (used for model
 /// checkpoints and dataset persistence) keeps the row-major buffer as-is.
-#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-#[serde(try_from = "SerdeTensor")]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     rows: usize,
     cols: usize,
 }
 
-/// Shadow struct validating shape consistency on deserialization.
-#[derive(serde::Deserialize)]
-struct SerdeTensor {
-    data: Vec<f32>,
-    rows: usize,
-    cols: usize,
+impl kvec_json::ToJson for Tensor {
+    fn to_json(&self) -> kvec_json::Json {
+        kvec_json::Json::obj([
+            ("data", self.data.to_json()),
+            ("rows", self.rows.to_json()),
+            ("cols", self.cols.to_json()),
+        ])
+    }
 }
 
-impl TryFrom<SerdeTensor> for Tensor {
-    type Error = String;
-
-    fn try_from(s: SerdeTensor) -> Result<Self, String> {
-        Tensor::from_vec(s.rows, s.cols, s.data).map_err(|e| e.to_string())
+impl kvec_json::FromJson for Tensor {
+    /// Validates shape consistency: `data.len()` must equal `rows * cols`.
+    fn from_json(j: &kvec_json::Json) -> Result<Self, kvec_json::JsonError> {
+        let data = Vec::<f32>::from_json(j.get("data")?)?;
+        let rows = usize::from_json(j.get("rows")?)?;
+        let cols = usize::from_json(j.get("cols")?)?;
+        Tensor::from_vec(rows, cols, data).map_err(|e| kvec_json::JsonError::new(e.to_string()))
     }
 }
 

@@ -1,151 +1,194 @@
-//! Property-based tests of the tensor kernels.
+//! Property-based tests of the tensor kernels (ported from proptest to the
+//! in-tree `kvec-check` harness).
 
+use kvec_check::{check, check_n, Gen};
 use kvec_tensor::{parallel, Axis, KvecRng, Tensor};
-use proptest::prelude::*;
 
-fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c)
-            .prop_map(move |data| Tensor::from_vec(r, c, data).unwrap())
-    })
+fn gen_tensor(g: &mut Gen, max_dim: usize) -> Tensor {
+    let r = g.usize_in(1, max_dim + 1);
+    let c = g.usize_in(1, max_dim + 1);
+    Tensor::from_vec(r, c, g.vec_f32(r * c, -10.0, 10.0)).unwrap()
 }
 
-fn pair_same_shape(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        let a = proptest::collection::vec(-10.0f32..10.0, r * c);
-        let b = proptest::collection::vec(-10.0f32..10.0, r * c);
-        (a, b).prop_map(move |(a, b)| {
-            (
-                Tensor::from_vec(r, c, a).unwrap(),
-                Tensor::from_vec(r, c, b).unwrap(),
-            )
-        })
-    })
+fn gen_pair_same_shape(g: &mut Gen, max_dim: usize) -> (Tensor, Tensor) {
+    let r = g.usize_in(1, max_dim + 1);
+    let c = g.usize_in(1, max_dim + 1);
+    (
+        Tensor::from_vec(r, c, g.vec_f32(r * c, -10.0, 10.0)).unwrap(),
+        Tensor::from_vec(r, c, g.vec_f32(r * c, -10.0, 10.0)).unwrap(),
+    )
 }
 
-proptest! {
-    #[test]
-    fn add_commutes((a, b) in pair_same_shape(8)) {
-        prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-5));
-    }
+#[test]
+fn add_commutes() {
+    check("add_commutes", |g| {
+        let (a, b) = gen_pair_same_shape(g, 8);
+        assert!(a.add(&b).allclose(&b.add(&a), 1e-5));
+    });
+}
 
-    #[test]
-    fn sub_then_add_round_trips((a, b) in pair_same_shape(8)) {
-        prop_assert!(a.sub(&b).add(&b).allclose(&a, 1e-4));
-    }
+#[test]
+fn sub_then_add_round_trips() {
+    check("sub_then_add_round_trips", |g| {
+        let (a, b) = gen_pair_same_shape(g, 8);
+        assert!(a.sub(&b).add(&b).allclose(&a, 1e-4));
+    });
+}
 
-    #[test]
-    fn hadamard_with_ones_is_identity(a in tensor_strategy(8)) {
+#[test]
+fn hadamard_with_ones_is_identity() {
+    check("hadamard_with_ones_is_identity", |g| {
+        let a = gen_tensor(g, 8);
         let ones = Tensor::ones(a.rows(), a.cols());
-        prop_assert!(a.hadamard(&ones).allclose(&a, 0.0));
-    }
+        assert!(a.hadamard(&ones).allclose(&a, 0.0));
+    });
+}
 
-    #[test]
-    fn transpose_is_an_involution(a in tensor_strategy(8)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
-    }
+#[test]
+fn transpose_is_an_involution() {
+    check("transpose_is_an_involution", |g| {
+        let a = gen_tensor(g, 8);
+        assert_eq!(a.transpose().transpose(), a);
+    });
+}
 
-    #[test]
-    fn matmul_identity_left_and_right(a in tensor_strategy(6)) {
-        prop_assert!(Tensor::eye(a.rows()).matmul(&a).allclose(&a, 1e-5));
-        prop_assert!(a.matmul(&Tensor::eye(a.cols())).allclose(&a, 1e-5));
-    }
+#[test]
+fn matmul_identity_left_and_right() {
+    check("matmul_identity_left_and_right", |g| {
+        let a = gen_tensor(g, 6);
+        assert!(Tensor::eye(a.rows()).matmul(&a).allclose(&a, 1e-5));
+        assert!(a.matmul(&Tensor::eye(a.cols())).allclose(&a, 1e-5));
+    });
+}
 
-    #[test]
-    fn matmul_transposed_variants_agree(a in tensor_strategy(6), n in 1usize..6) {
+#[test]
+fn matmul_transposed_variants_agree() {
+    check("matmul_transposed_variants_agree", |g| {
+        let a = gen_tensor(g, 6);
+        let n = g.usize_in(1, 6);
         // tn: a^T b with b sharing a's row count.
         let b = Tensor::from_vec(
             a.rows(),
             n,
             (0..a.rows() * n).map(|i| (i as f32 * 0.37).sin()).collect(),
-        ).unwrap();
+        )
+        .unwrap();
         let tn = a.matmul_tn(&b).unwrap();
-        prop_assert!(tn.allclose(&a.transpose().matmul(&b), 1e-4));
+        assert!(tn.allclose(&a.transpose().matmul(&b), 1e-4));
 
         // nt: a c^T with c sharing a's column count.
         let c = Tensor::from_vec(
             n,
             a.cols(),
             (0..n * a.cols()).map(|i| (i as f32 * 0.53).cos()).collect(),
-        ).unwrap();
+        )
+        .unwrap();
         let nt = a.matmul_nt(&c).unwrap();
-        prop_assert!(nt.allclose(&a.matmul(&c.transpose()), 1e-4));
-    }
+        assert!(nt.allclose(&a.matmul(&c.transpose()), 1e-4));
+    });
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(a in tensor_strategy(8)) {
+#[test]
+fn softmax_rows_are_distributions() {
+    check("softmax_rows_are_distributions", |g| {
+        let a = gen_tensor(g, 8);
         let s = a.softmax_rows();
         for r in 0..s.rows() {
             let sum: f32 = s.row(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", r, sum);
-            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+            assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn softmax_preserves_argmax(a in tensor_strategy(8)) {
+#[test]
+fn softmax_preserves_argmax() {
+    check("softmax_preserves_argmax", |g| {
+        let a = gen_tensor(g, 8);
         let s = a.softmax_rows();
         for r in 0..a.rows() {
-            prop_assert_eq!(a.argmax_row(r), s.argmax_row(r));
+            assert_eq!(a.argmax_row(r), s.argmax_row(r));
         }
-    }
+    });
+}
 
-    #[test]
-    fn log_softmax_exp_matches_softmax(a in tensor_strategy(6)) {
+#[test]
+fn log_softmax_exp_matches_softmax() {
+    check("log_softmax_exp_matches_softmax", |g| {
+        let a = gen_tensor(g, 6);
         let ls = a.log_softmax_rows().map(f32::exp);
-        prop_assert!(ls.allclose(&a.softmax_rows(), 1e-4));
-    }
+        assert!(ls.allclose(&a.softmax_rows(), 1e-4));
+    });
+}
 
-    #[test]
-    fn axis_sums_total_matches_full_sum(a in tensor_strategy(8)) {
+#[test]
+fn axis_sums_total_matches_full_sum() {
+    check("axis_sums_total_matches_full_sum", |g| {
+        let a = gen_tensor(g, 8);
         let total = a.sum();
-        prop_assert!((a.sum_axis(Axis::Rows).sum() - total).abs() < 1e-3 + total.abs() * 1e-5);
-        prop_assert!((a.sum_axis(Axis::Cols).sum() - total).abs() < 1e-3 + total.abs() * 1e-5);
-    }
+        let tol = 1e-3 + total.abs() * 1e-5;
+        assert!((a.sum_axis(Axis::Rows).sum() - total).abs() < tol);
+        assert!((a.sum_axis(Axis::Cols).sum() - total).abs() < tol);
+    });
+}
 
-    #[test]
-    fn concat_then_slice_round_trips((a, b) in pair_same_shape(6)) {
+#[test]
+fn concat_then_slice_round_trips() {
+    check("concat_then_slice_round_trips", |g| {
+        let (a, b) = gen_pair_same_shape(g, 6);
         let cat = Tensor::concat_rows(&[&a, &b]).unwrap();
-        prop_assert_eq!(cat.slice_rows(0, a.rows()).unwrap(), a.clone());
-        prop_assert_eq!(cat.slice_rows(a.rows(), cat.rows()).unwrap(), b.clone());
+        assert_eq!(cat.slice_rows(0, a.rows()).unwrap(), a);
+        assert_eq!(cat.slice_rows(a.rows(), cat.rows()).unwrap(), b);
         let cat = Tensor::concat_cols(&[&a, &b]).unwrap();
-        prop_assert_eq!(cat.slice_cols(0, a.cols()).unwrap(), a.clone());
-        prop_assert_eq!(cat.slice_cols(a.cols(), cat.cols()).unwrap(), b);
-    }
+        assert_eq!(cat.slice_cols(0, a.cols()).unwrap(), a);
+        assert_eq!(cat.slice_cols(a.cols(), cat.cols()).unwrap(), b);
+    });
+}
 
-    #[test]
-    fn push_row_equals_concat(a in tensor_strategy(6)) {
+#[test]
+fn push_row_equals_concat() {
+    check("push_row_equals_concat", |g| {
+        let a = gen_tensor(g, 6);
         let mut grown = Tensor::zeros(0, 0);
         for r in 0..a.rows() {
             grown.push_row(a.row(r));
         }
-        prop_assert_eq!(grown, a);
-    }
+        assert_eq!(grown, a);
+    });
+}
 
-    #[test]
-    fn frobenius_norm_is_scale_homogeneous(a in tensor_strategy(6), s in -4.0f32..4.0) {
+#[test]
+fn frobenius_norm_is_scale_homogeneous() {
+    check("frobenius_norm_is_scale_homogeneous", |g| {
+        let a = gen_tensor(g, 6);
+        let s = g.f32_in(-4.0, 4.0);
         let lhs = a.scale(s).frobenius_norm();
         let rhs = s.abs() * a.frobenius_norm();
-        prop_assert!((lhs - rhs).abs() < 1e-2 + rhs * 1e-4);
-    }
+        assert!((lhs - rhs).abs() < 1e-2 + rhs * 1e-4);
+    });
+}
+
+#[test]
+fn json_round_trip_preserves_tensor() {
+    check("json_round_trip_preserves_tensor", |g| {
+        let a = gen_tensor(g, 8);
+        let text = kvec_json::encode(&a);
+        let back: Tensor = kvec_json::decode(&text).unwrap();
+        assert_eq!(back, a);
+    });
 }
 
 // Larger-shape properties of the register-tiled parallel kernels. Shapes go
-// up to 512x512 outputs, so the operands are filled from a seeded RNG
-// (drawing a quarter-million floats through proptest strategies would
-// dominate the runtime) and the case count is kept small.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn parallel_kernels_match_serial_reference(
-        m in 1usize..=512,
-        k in 1usize..=64,
-        n in 1usize..=512,
-        seed in any::<u64>(),
-        threads in 2usize..=8,
-    ) {
-        let mut rng = KvecRng::seed_from_u64(seed);
+// up to 512x512 outputs, so the operands are filled from a seeded KvecRng
+// and the case count is kept small.
+#[test]
+fn parallel_kernels_match_serial_reference() {
+    check_n("parallel_kernels_match_serial_reference", 8, |g| {
+        let m = g.usize_in(1, 513);
+        let k = g.usize_in(1, 65);
+        let n = g.usize_in(1, 513);
+        let threads = g.usize_in(2, 9);
+        let mut rng = KvecRng::seed_from_u64(g.u64());
         let a = Tensor::rand_uniform(m, k, -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(k, n, -1.0, 1.0, &mut rng);
         let reference = a.matmul_reference(&b).unwrap();
@@ -153,20 +196,20 @@ proptest! {
         // Single-thread dispatch is bit-identical to the pre-parallel
         // serial kernel (same per-element accumulation order).
         let serial = parallel::with_threads(1, || a.matmul(&b));
-        prop_assert_eq!(serial.data(), reference.data());
+        assert_eq!(serial.data(), reference.data());
 
         // Multi-thread dispatch: nn/tn stay bitwise (the row split never
         // crosses an output row), nt reorders its dot sums.
         let par = parallel::with_threads(threads, || a.matmul(&b));
-        prop_assert_eq!(par.data(), reference.data());
-        prop_assert!(par.allclose(&reference, 1e-5));
+        assert_eq!(par.data(), reference.data());
+        assert!(par.allclose(&reference, 1e-5));
 
         let at = a.transpose();
         let tn = parallel::with_threads(threads, || at.matmul_tn(&b).unwrap());
-        prop_assert_eq!(tn.data(), reference.data());
+        assert_eq!(tn.data(), reference.data());
 
         let bt = b.transpose();
         let nt = parallel::with_threads(threads, || a.matmul_nt(&bt).unwrap());
-        prop_assert!(nt.allclose(&reference, 1e-5));
-    }
+        assert!(nt.allclose(&reference, 1e-5));
+    });
 }

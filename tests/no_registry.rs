@@ -1,0 +1,123 @@
+//! Guard: the workspace must stay buildable with zero crates.io access.
+//!
+//! Every dependency in every manifest must resolve inside the repository
+//! (path dependencies or `workspace = true` pointers at path
+//! dependencies), and the lockfile must contain no registry sources. This
+//! is the contract that makes `cargo build --offline` work on a machine
+//! that has never seen a crates.io index — see DESIGN.md "Dependencies".
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the root package IS the workspace root here.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn manifests(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("read crates/") {
+        let m = entry.unwrap().path().join("Cargo.toml");
+        if m.is_file() {
+            out.push(m);
+        }
+    }
+    assert!(
+        out.len() >= 8,
+        "expected the full crate family, got {out:?}"
+    );
+    out
+}
+
+/// Returns the `(section, line)` pairs of dependency declarations in a
+/// manifest: every non-comment line of a `[dependencies]`,
+/// `[dev-dependencies]`, `[build-dependencies]` or
+/// `[workspace.dependencies]` section.
+fn dependency_lines(toml: &str) -> Vec<(String, String)> {
+    let mut section = String::new();
+    let mut out = Vec::new();
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let is_dep_section = section == "workspace.dependencies"
+            || section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || section.ends_with(".dependencies");
+        if is_dep_section {
+            out.push((section.clone(), line.to_string()));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_dependency_is_a_path_dependency() {
+    let root = workspace_root();
+    for manifest in manifests(&root) {
+        let toml = fs::read_to_string(&manifest).unwrap();
+        for (section, line) in dependency_lines(&toml) {
+            let in_repo = line.contains("path = \"")
+                || line.contains(".workspace = true")
+                || line.contains("workspace = true");
+            assert!(
+                in_repo,
+                "{}: [{section}] declares a non-path dependency: `{line}`\n\
+                 The workspace is zero-dependency by policy; vendor the \
+                 functionality in-tree instead (DESIGN.md, Dependencies).",
+                manifest.display()
+            );
+            assert!(
+                !line.contains("version = \"") || line.contains("path = \""),
+                "{}: [{section}] pins a registry version: `{line}`",
+                manifest.display()
+            );
+            assert!(
+                !line.contains("git = \""),
+                "{}: [{section}] declares a git dependency: `{line}`",
+                manifest.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn lockfile_has_no_registry_sources() {
+    let lock = fs::read_to_string(workspace_root().join("Cargo.lock"))
+        .expect("Cargo.lock must be committed");
+    for line in lock.lines() {
+        assert!(
+            !line.trim_start().starts_with("source ="),
+            "Cargo.lock references an external source: `{line}`"
+        );
+        assert!(
+            !line.trim_start().starts_with("checksum ="),
+            "Cargo.lock carries a registry checksum: `{line}`"
+        );
+    }
+    assert!(
+        lock.contains("name = \"kvec-tensor\""),
+        "lockfile should still cover the workspace crates"
+    );
+}
+
+#[test]
+fn workspace_members_cover_the_vendored_substrate() {
+    // The vendored JSON codec and property-test harness must stay inside
+    // the workspace (a stray exclusion would silently reintroduce the
+    // registry the first time someone depends on them).
+    let toml = fs::read_to_string(workspace_root().join("Cargo.toml")).unwrap();
+    for member in ["crates/json", "crates/check"] {
+        assert!(
+            toml.contains(&format!("\"{member}\"")),
+            "workspace members must include {member}"
+        );
+    }
+}
