@@ -66,7 +66,11 @@ fn bench_train_step() {
         let mut model = KvecModel::new(&model_cfg, &mut rng);
         let mut trainer = Trainer::new(&model_cfg, &model);
         group.bench(format!("K{k}_len{len}"), || {
-            black_box(trainer.train_scenario(&mut model, &tangled, &mut rng));
+            black_box(
+                trainer
+                    .train_scenario(&mut model, &tangled, &mut rng)
+                    .unwrap(),
+            );
         });
     }
     group.finish();

@@ -81,7 +81,11 @@ fn bench_epoch() {
         let mut model = KvecModel::new(&cfg, &mut rng);
         let mut trainer = Trainer::new(&cfg, &model);
         group.bench(format!("workers/{workers}"), || {
-            black_box(trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, workers));
+            black_box(
+                trainer
+                    .train_epoch_parallel(&mut model, &ds.train, &mut rng, workers)
+                    .unwrap(),
+            );
         });
     }
     group.finish();

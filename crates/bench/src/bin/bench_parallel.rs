@@ -122,7 +122,11 @@ fn epoch_sweep() -> Json {
         let mut model = KvecModel::new(&cfg, &mut rng);
         let mut trainer = Trainer::new(&cfg, &model);
         time_best_ms(3, || {
-            black_box(trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, workers));
+            black_box(
+                trainer
+                    .train_epoch_parallel(&mut model, &ds.train, &mut rng, workers)
+                    .unwrap(),
+            );
         })
     };
     let serial_ms = epoch_ms(1);

@@ -45,7 +45,9 @@ fn main() {
     let mut model = KvecModel::new(&cfg, &mut model_rng);
     let mut trainer = Trainer::new(&cfg, &model);
     for _ in 0..epochs {
-        trainer.train_epoch(&mut model, &train, &mut model_rng);
+        trainer
+            .train_epoch(&mut model, &train, &mut model_rng)
+            .unwrap();
     }
 
     println!();

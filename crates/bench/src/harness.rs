@@ -104,7 +104,9 @@ pub fn run_kvec_with(
     let mut model = KvecModel::new(cfg, &mut rng);
     let mut trainer = Trainer::new(cfg, &model);
     for _ in 0..epochs {
-        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .unwrap();
     }
     let report = evaluate(&model, &ds.test);
     (model, report)

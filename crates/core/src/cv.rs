@@ -76,7 +76,9 @@ pub fn cross_validate(
         let mut model = KvecModel::new(cfg, rng);
         let mut trainer = Trainer::new(cfg, &model);
         for _ in 0..epochs {
-            trainer.train_epoch(&mut model, &train, rng);
+            trainer
+                .train_epoch(&mut model, &train, rng)
+                .expect("fold training failed");
         }
         reports.push(evaluate(&model, &test));
     }

@@ -40,18 +40,20 @@
 //! let mut model = KvecModel::new(&cfg, &mut rng);
 //! let mut trainer = Trainer::new(&cfg, &model);
 //! for scenario in &ds.train {
-//!     trainer.train_scenario(&mut model, scenario, &mut rng);
+//!     trainer.train_scenario(&mut model, scenario, &mut rng).unwrap();
 //! }
 //! let report = evaluate(&model, &ds.test);
 //! assert!(report.accuracy >= 0.0 && report.earliness <= 1.0);
 //! ```
 
+pub mod checkpoint;
 pub mod classifier;
 pub mod config;
 pub mod cv;
 pub mod ectl;
 pub mod embedding;
 pub mod eval;
+pub mod faults;
 pub mod kvrl;
 pub mod mask;
 pub mod metrics;
@@ -61,5 +63,7 @@ pub mod train;
 
 pub use config::KvecConfig;
 pub use eval::{evaluate, EvalReport};
+pub use faults::FaultInjector;
 pub use model::KvecModel;
-pub use streaming::StreamingEngine;
+pub use streaming::{StreamError, StreamingEngine};
+pub use train::{BadStepReason, RecoveryEvent, TrainError, WatchdogConfig};

@@ -18,6 +18,41 @@ use crate::model::KvecModel;
 use kvec_data::{Item, Key, TangledSequence};
 use kvec_tensor::Tensor;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Misuse of a [`StreamingEngine`], reported as a typed error instead of
+/// silently corrupting per-key state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// [`StreamingEngine::feed`] was called after
+    /// [`StreamingEngine::finish`]: the stream has ended and every
+    /// sequence has already received its (possibly forced) decision, so a
+    /// late arrival can no longer be attributed consistently.
+    Finished,
+    /// Feeding the item would start a new sequence beyond the configured
+    /// [`StreamingEngine::with_max_active_keys`] bound. The engine state
+    /// is untouched — the offending item was not consumed.
+    ActiveKeyLimit {
+        /// The configured bound that would have been exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Finished => {
+                write!(f, "stream already finished; feed() is no longer valid")
+            }
+            StreamError::ActiveKeyLimit { limit } => write!(
+                f,
+                "feeding this item would exceed the active-key bound of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// The classification decision emitted when a sequence halts.
 #[derive(Debug, Clone)]
@@ -53,6 +88,8 @@ pub struct StreamingEngine<'m> {
     layer_values: Vec<Tensor>,
     keys_state: BTreeMap<Key, KeySeqState>,
     t: usize,
+    finished: bool,
+    max_active_keys: Option<usize>,
 }
 
 impl<'m> StreamingEngine<'m> {
@@ -69,7 +106,25 @@ impl<'m> StreamingEngine<'m> {
             layer_values: vec![Tensor::zeros(0, 0); n_blocks],
             keys_state: BTreeMap::new(),
             t: 0,
+            finished: false,
+            max_active_keys: None,
         }
+    }
+
+    /// Bounds the number of distinct keys the engine will track (a memory
+    /// guard for long-lived deployments: each key holds fusion state
+    /// forever). Feeding an item that would *start* a new sequence beyond
+    /// the bound returns [`StreamError::ActiveKeyLimit`]; items of already
+    /// known keys are unaffected.
+    pub fn with_max_active_keys(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "active-key bound must be at least 1");
+        self.max_active_keys = Some(limit);
+        self
+    }
+
+    /// Whether [`StreamingEngine::finish`] has been called.
+    pub fn is_finished(&self) -> bool {
+        self.finished
     }
 
     /// Number of items consumed so far.
@@ -82,11 +137,24 @@ impl<'m> StreamingEngine<'m> {
         self.keys_state.values().filter(|s| s.halted).count()
     }
 
-    /// Feeds one arriving item. Returns a [`Decision`] when this item makes
-    /// its sequence halt; items of already-halted sequences still enter the
-    /// attention caches (they remain visible context for other sequences)
-    /// but produce no further decisions.
-    pub fn feed(&mut self, item: &Item) -> Option<Decision> {
+    /// Feeds one arriving item. Returns `Ok(Some(decision))` when this item
+    /// makes its sequence halt; items of already-halted sequences still
+    /// enter the attention caches (they remain visible context for other
+    /// sequences — a deliberate `Ok(None)` no-op, not an error) but produce
+    /// no further decisions.
+    ///
+    /// Fails — leaving the engine state untouched — when the stream was
+    /// already [`finish`](StreamingEngine::finish)ed or the item would
+    /// start a sequence beyond the active-key bound.
+    pub fn feed(&mut self, item: &Item) -> Result<Option<Decision>, StreamError> {
+        if self.finished {
+            return Err(StreamError::Finished);
+        }
+        if let Some(limit) = self.max_active_keys {
+            if !self.keys_state.contains_key(&item.key) && self.keys_state.len() >= limit {
+                return Err(StreamError::ActiveKeyLimit { limit });
+            }
+        }
         let model = self.model;
         let store = &model.store;
         let session_code = item.value[model.cfg.session_field];
@@ -147,7 +215,7 @@ impl<'m> StreamingEngine<'m> {
             });
         state.n_items += 1;
         if state.halted {
-            return None;
+            return Ok(None);
         }
         let (h, c) = model
             .encoder
@@ -160,21 +228,25 @@ impl<'m> StreamingEngine<'m> {
         if Ectl::threshold_action(p_halt, model.cfg.halt_threshold) == Action::Halt {
             state.halted = true;
             let (pred, probs) = model.classifier.predict(store, &state.h);
-            return Some(Decision {
+            return Ok(Some(Decision {
                 key: item.key,
                 pred,
                 probs: probs.into_vec(),
                 n_items: state.n_items,
                 global_pos,
                 halted_by_policy: true,
-            });
+            }));
         }
-        None
+        Ok(None)
     }
 
     /// Forces a classification for every still-active sequence (stream
-    /// end). Returns their decisions in key order.
+    /// end). Returns their decisions in key order. Marks the stream
+    /// finished: any later [`feed`](StreamingEngine::feed) returns
+    /// [`StreamError::Finished`]; calling `finish` again is an idempotent
+    /// no-op returning an empty vector.
     pub fn finish(&mut self) -> Vec<Decision> {
+        self.finished = true;
         let model = self.model;
         let mut decisions = Vec::new();
         for (&key, state) in self.keys_state.iter_mut() {
@@ -201,7 +273,9 @@ impl<'m> StreamingEngine<'m> {
         let mut engine = StreamingEngine::new(model);
         let mut decisions = Vec::new();
         for item in &tangled.items {
-            if let Some(d) = engine.feed(item) {
+            // A fresh unbounded engine that is never finished mid-stream
+            // cannot hit a StreamError.
+            if let Some(d) = engine.feed(item).expect("fresh engine cannot fault") {
                 decisions.push(d);
             }
         }
@@ -279,7 +353,7 @@ mod tests {
         let (model, tangled) = setup(3);
         let mut engine = StreamingEngine::new(&model);
         for item in &tangled.items {
-            let _ = engine.feed(item);
+            let _ = engine.feed(item).unwrap();
         }
         assert_eq!(engine.items_seen(), tangled.len());
         let first = engine.finish();
@@ -287,6 +361,78 @@ mod tests {
         assert!(second.is_empty(), "finish must not re-emit decisions");
         assert_eq!(engine.halted_count(), tangled.num_keys());
         let _ = first;
+    }
+
+    #[test]
+    fn feeding_after_finish_is_a_typed_error() {
+        let (model, tangled) = setup(6);
+        let mut engine = StreamingEngine::new(&model);
+        engine.feed(&tangled.items[0]).unwrap();
+        assert!(!engine.is_finished());
+        engine.finish();
+        assert!(engine.is_finished());
+        let before = engine.items_seen();
+        assert!(matches!(
+            engine.feed(&tangled.items[1]),
+            Err(StreamError::Finished)
+        ));
+        assert_eq!(engine.items_seen(), before, "rejected item was consumed");
+        let msg = StreamError::Finished.to_string();
+        assert!(msg.contains("finished"), "{msg}");
+    }
+
+    #[test]
+    fn active_key_bound_rejects_new_keys_but_not_known_ones() {
+        let (model, tangled) = setup(7);
+        assert!(tangled.num_keys() > 1, "scenario must tangle several keys");
+        let mut engine = StreamingEngine::new(&model).with_max_active_keys(1);
+        let first_key = tangled.items[0].key;
+        let mut rejected = 0usize;
+        for item in &tangled.items {
+            match engine.feed(item) {
+                Ok(_) => assert_eq!(item.key, first_key),
+                Err(StreamError::ActiveKeyLimit { limit }) => {
+                    assert_eq!(limit, 1);
+                    assert_ne!(item.key, first_key);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "other keys should have been rejected");
+        // Only the admitted key gets a decision.
+        let mut engine_decisions: Vec<_> = engine.finish();
+        assert!(engine_decisions.len() <= 1);
+        engine_decisions.retain(|d| d.key != first_key);
+        assert!(engine_decisions.is_empty());
+    }
+
+    #[test]
+    fn feeding_a_halted_key_is_a_documented_no_op() {
+        let (model, tangled) = setup(8);
+        let mut engine = StreamingEngine::new(&model);
+        let mut halted_key = None;
+        for item in &tangled.items {
+            let seen_before = engine.items_seen();
+            let decision = engine.feed(item).unwrap();
+            assert_eq!(engine.items_seen(), seen_before + 1);
+            if let Some(d) = decision {
+                halted_key = Some(d.key);
+                break;
+            }
+        }
+        let Some(key) = halted_key else {
+            // Policy never halted on this seed; nothing further to check.
+            return;
+        };
+        // Feeding more items of the halted key is Ok(None): the items enter
+        // the attention caches but never re-open the sequence.
+        let extra: Vec<_> = tangled.items.iter().filter(|i| i.key == key).collect();
+        let halted_before = engine.halted_count();
+        for item in extra {
+            assert_eq!(engine.feed(item).unwrap().map(|d| d.key), None);
+        }
+        assert_eq!(engine.halted_count(), halted_before);
     }
 
     #[test]

@@ -25,15 +25,39 @@
 //! scenario — the reference schedule) and [`Trainer::train_epoch_parallel`]
 //! (data-parallel over worker replicas with an ordered gradient reduction;
 //! see its docs for the determinism contract).
+//!
+//! ## Fault tolerance
+//!
+//! Every optimizer step goes through a **divergence watchdog**: before the
+//! update is applied the step's loss and the accumulated gradients are
+//! checked for NaN/inf (and optionally for norm spikes against a running
+//! EMA). A bad step is *skipped* — gradients cleared, parameters untouched
+//! — and reported as a [`RecoveryEvent`]; after
+//! [`WatchdogConfig::max_consecutive_bad`] consecutive bad steps the
+//! trainer **rolls back** parameters and optimizer moments to its last
+//! in-memory good-step snapshot and continues. Unrecoverable conditions
+//! surface as a typed [`TrainError`], never a panic.
+//!
+//! [`Trainer::save_checkpoint`] writes the *complete* trainer state
+//! (parameters, both Adam moment sets, epoch/step counters, watchdog
+//! counters, RNG state) through the crash-safe container of
+//! `kvec_nn::checkpoint`; [`Trainer::resume`] restores it such that the
+//! post-resume trajectory is bit-identical to a run that was never
+//! interrupted (enforced by `tests/fault_tolerance.rs`).
 
+use crate::checkpoint::{self, TrainerState};
 use crate::ectl::{Action, Ectl};
+use crate::faults::FaultInjector;
 use crate::model::KvecModel;
 use crate::KvecConfig;
 use kvec_autograd::Var;
 use kvec_data::TangledSequence;
+use kvec_nn::checkpoint::{read_verified, write_atomic, CheckpointError};
 use kvec_nn::loss::{cross_entropy_logits, log_one_minus_sigmoid, log_sigmoid, squared_error};
-use kvec_nn::{clip_global_norm, Adam, Optimizer, ParamId, Session};
-use kvec_tensor::{parallel, sigmoid_scalar, KvecRng};
+use kvec_nn::{clip_global_norm, Adam, AdamState, Optimizer, ParamId, Session};
+use kvec_tensor::{parallel, sigmoid_scalar, KvecRng, Tensor};
+use std::fmt;
+use std::path::Path;
 
 /// Diagnostics of one training step (one tangled scenario).
 #[derive(Debug, Clone, Copy, Default)]
@@ -67,8 +91,142 @@ pub struct EpochStats {
     pub num_keys: usize,
 }
 
+/// Divergence-watchdog thresholds. The defaults keep the finiteness
+/// guards always on and the spike detector off (REINFORCE gradient norms
+/// are legitimately heavy-tailed; enable spikes deliberately per run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Consecutive bad (skipped) steps that trigger a rollback to the last
+    /// good snapshot. Must be at least 1.
+    pub max_consecutive_bad: usize,
+    /// A step is bad when the model-group pre-clip gradient norm exceeds
+    /// `spike_factor` times its running EMA. `0.0` disables spike
+    /// detection; the NaN/inf guards stay active regardless.
+    pub spike_factor: f32,
+    /// Good steps observed before the spike detector arms (the EMA needs a
+    /// baseline; early REINFORCE norms swing wildly).
+    pub spike_warmup_steps: usize,
+    /// Good steps between in-memory rollback snapshots. `1` snapshots
+    /// after every applied step (models at this repo's scale are small);
+    /// `0` disables snapshots, making rollback an error.
+    pub snapshot_every: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            max_consecutive_bad: 3,
+            spike_factor: 0.0,
+            spike_warmup_steps: 8,
+            snapshot_every: 1,
+        }
+    }
+}
+
+/// Why the watchdog refused to apply a step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BadStepReason {
+    /// The scenario loss was NaN/inf.
+    NonFiniteLoss,
+    /// An accumulated gradient carried NaN/inf.
+    NonFiniteGradient,
+    /// The model-group gradient norm exceeded the spike threshold.
+    GradientSpike {
+        /// Observed pre-clip norm.
+        norm: f32,
+        /// `spike_factor * EMA` at the time of the step.
+        limit: f32,
+    },
+    /// The applied update itself produced non-finite parameters (the step
+    /// was rolled back immediately, not merely skipped).
+    NonFiniteUpdate,
+}
+
+/// A recovery action the watchdog took, reported through
+/// [`Trainer::take_events`] instead of a log line or a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryEvent {
+    /// A bad step was skipped: gradients cleared, parameters untouched.
+    StepSkipped {
+        /// Global optimizer-step attempt index.
+        step: u64,
+        /// What tripped the watchdog.
+        reason: BadStepReason,
+    },
+    /// Parameters and optimizer moments were restored from the last good
+    /// snapshot after repeated bad steps.
+    RolledBack {
+        /// Step attempt at which the rollback fired.
+        step: u64,
+        /// Step the restored snapshot was captured at.
+        restored_step: u64,
+        /// Consecutive bad steps that forced the rollback.
+        bad_steps: usize,
+    },
+}
+
+/// Unrecoverable training-runtime failures. Watchdog skips and rollbacks
+/// are *not* errors — they are [`RecoveryEvent`]s; this type is for
+/// conditions the runtime cannot continue through.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A [`FaultInjector`] crash fired (test harness only): the process
+    /// "died" immediately before applying the given step.
+    Killed {
+        /// Step attempt the simulated crash preempted.
+        step: u64,
+    },
+    /// Rollback was required but no snapshot exists
+    /// ([`WatchdogConfig::snapshot_every`] is 0).
+    NoRollbackTarget {
+        /// Step attempt at which the rollback was needed.
+        step: u64,
+    },
+    /// Writing or reading a checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Killed { step } => {
+                write!(f, "training killed by fault injection before step {step}")
+            }
+            Self::NoRollbackTarget { step } => write!(
+                f,
+                "divergence at step {step}: rollback required but snapshots are disabled"
+            ),
+            Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// The last-good-state capture the watchdog rolls back to.
+struct StepSnapshot {
+    step: u64,
+    values: Vec<Tensor>,
+    opt_model: AdamState,
+    opt_baseline: AdamState,
+}
+
 /// The Algorithm-1 trainer: two Adam optimizers over disjoint parameter
-/// groups.
+/// groups, wrapped in the divergence watchdog described in the module
+/// docs.
 pub struct Trainer {
     opt_model: Adam,
     opt_baseline: Adam,
@@ -79,6 +237,17 @@ pub struct Trainer {
     grad_clip: f32,
     warmup_epochs: usize,
     epochs_done: usize,
+    // --- fault-tolerance state ---
+    watchdog: WatchdogConfig,
+    /// Optimizer-step attempts so far, good and skipped (serial: one per
+    /// scenario; parallel: one per worker group).
+    step: u64,
+    good_steps: u64,
+    consecutive_bad: usize,
+    grad_norm_ema: Option<f32>,
+    events: Vec<RecoveryEvent>,
+    snapshot: Option<StepSnapshot>,
+    injector: Option<FaultInjector>,
 }
 
 impl Trainer {
@@ -96,7 +265,60 @@ impl Trainer {
             grad_clip: cfg.grad_clip,
             warmup_epochs: cfg.policy_warmup_epochs,
             epochs_done: 0,
+            watchdog: WatchdogConfig::default(),
+            step: 0,
+            good_steps: 0,
+            consecutive_bad: 0,
+            grad_norm_ema: None,
+            events: Vec::new(),
+            snapshot: None,
+            injector: None,
         }
+    }
+
+    /// Replaces the watchdog thresholds (builder style).
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        assert!(cfg.max_consecutive_bad >= 1, "K must be at least 1");
+        self.watchdog = cfg;
+        self
+    }
+
+    /// The active watchdog thresholds.
+    pub fn watchdog(&self) -> &WatchdogConfig {
+        &self.watchdog
+    }
+
+    /// Attaches a deterministic fault injector (test harness; see
+    /// [`crate::faults`]). Injected faults act at optimizer-step
+    /// granularity in both epoch drivers.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Detaches the fault injector, if any.
+    pub fn clear_fault_injector(&mut self) {
+        self.injector = None;
+    }
+
+    /// Drains the recovery events recorded since the last call — the typed
+    /// replacement for watchdog log lines.
+    pub fn take_events(&mut self) -> Vec<RecoveryEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Recovery events recorded since the last [`Trainer::take_events`].
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Global optimizer-step attempts so far (good and skipped).
+    pub fn steps_done(&self) -> u64 {
+        self.step
+    }
+
+    /// Completed epochs (drives the warmup schedule).
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
     }
 
     /// Whether the trainer is still in the representation warmup phase
@@ -105,16 +327,25 @@ impl Trainer {
         self.epochs_done < self.warmup_epochs
     }
 
-    /// Runs one optimization step on one tangled scenario.
+    /// Runs one optimization step on one tangled scenario. A watchdog skip
+    /// or rollback is reported through [`Trainer::take_events`], not the
+    /// return value; `Err` means the runtime cannot continue (injected
+    /// crash, impossible rollback).
     pub fn train_scenario(
         &mut self,
         model: &mut KvecModel,
         scenario: &TangledSequence,
         rng: &mut KvecRng,
-    ) -> StepStats {
+    ) -> Result<StepStats, TrainError> {
         let stats = self.scenario_grads(model, scenario, rng);
-        self.apply_step(model);
-        stats
+        self.guarded_step(model, self.total_loss(&stats))?;
+        Ok(stats)
+    }
+
+    /// The scalar objective of one step, used for the watchdog's loss
+    /// finiteness check.
+    fn total_loss(&self, s: &StepStats) -> f32 {
+        s.loss_ce + self.alpha * s.loss_policy + self.beta * s.loss_halt + s.loss_baseline
     }
 
     /// The forward/backward pass of one scenario: accumulates gradients into
@@ -268,37 +499,148 @@ impl Trainer {
         stats
     }
 
-    /// Clips the accumulated gradients, steps both optimizers and clears the
-    /// accumulators — the update half of [`Trainer::train_scenario`].
-    fn apply_step(&mut self, model: &mut KvecModel) {
-        clip_global_norm(&mut model.store, &self.model_ids, self.grad_clip);
+    /// The update half of [`Trainer::train_scenario`]: runs the watchdog
+    /// checks, then either clips + steps both optimizers (returning
+    /// `Ok(true)`) or skips/rolls back (returning `Ok(false)` and
+    /// recording a [`RecoveryEvent`]). The former `debug_assert!` on
+    /// non-finite parameters is now a release-mode guard with recovery.
+    fn guarded_step(&mut self, model: &mut KvecModel, step_loss: f32) -> Result<bool, TrainError> {
+        let step = self.step;
+        if let Some(inj) = &mut self.injector {
+            if inj.should_kill(step) {
+                return Err(TrainError::Killed { step });
+            }
+            inj.poison(&mut model.store, step);
+        }
+        // Establish an initial rollback target before the first update so
+        // divergence on step 0 is still recoverable.
+        if self.snapshot.is_none() && self.watchdog.snapshot_every > 0 {
+            self.snapshot = Some(self.capture_snapshot(model));
+        }
+
+        if let Some(reason) = self.diagnose(model, step_loss) {
+            model.store.zero_grads();
+            self.events
+                .push(RecoveryEvent::StepSkipped { step, reason });
+            self.consecutive_bad += 1;
+            self.step += 1;
+            if self.consecutive_bad >= self.watchdog.max_consecutive_bad {
+                self.rollback(model, step)?;
+            }
+            return Ok(false);
+        }
+
+        let norm = clip_global_norm(&mut model.store, &self.model_ids, self.grad_clip);
         clip_global_norm(&mut model.store, &self.baseline_ids, self.grad_clip);
         self.opt_model.step(&mut model.store);
         self.opt_baseline.step(&mut model.store);
         model.store.zero_grads();
-        debug_assert!(
-            !model.store.has_non_finite(),
-            "non-finite parameter after update"
-        );
+        self.step += 1;
+        if model.store.has_non_finite() {
+            // The update itself corrupted the parameters (pathological
+            // moments / learning rate). The damage is already applied, so
+            // restore the last good state immediately rather than waiting
+            // out K skips on garbage parameters.
+            self.events.push(RecoveryEvent::StepSkipped {
+                step,
+                reason: BadStepReason::NonFiniteUpdate,
+            });
+            self.consecutive_bad += 1;
+            self.rollback(model, step)?;
+            return Ok(false);
+        }
+
+        self.consecutive_bad = 0;
+        self.grad_norm_ema = Some(match self.grad_norm_ema {
+            Some(ema) => 0.9 * ema + 0.1 * norm,
+            None => norm,
+        });
+        self.good_steps += 1;
+        if self.watchdog.snapshot_every > 0
+            && self.good_steps.is_multiple_of(self.watchdog.snapshot_every)
+        {
+            self.snapshot = Some(self.capture_snapshot(model));
+        }
+        Ok(true)
+    }
+
+    /// Pre-update health checks: loss finiteness, gradient finiteness,
+    /// optional norm-spike detection against the running EMA.
+    fn diagnose(&self, model: &KvecModel, step_loss: f32) -> Option<BadStepReason> {
+        if !step_loss.is_finite() {
+            return Some(BadStepReason::NonFiniteLoss);
+        }
+        if model.store.has_non_finite_grad() {
+            return Some(BadStepReason::NonFiniteGradient);
+        }
+        if self.watchdog.spike_factor > 0.0
+            && self.good_steps >= self.watchdog.spike_warmup_steps as u64
+        {
+            if let Some(ema) = self.grad_norm_ema {
+                let norm = model.store.grad_norm(&self.model_ids);
+                let limit = self.watchdog.spike_factor * ema;
+                if norm > limit {
+                    return Some(BadStepReason::GradientSpike { norm, limit });
+                }
+            }
+        }
+        None
+    }
+
+    fn capture_snapshot(&self, model: &KvecModel) -> StepSnapshot {
+        StepSnapshot {
+            step: self.step,
+            values: model.store.snapshot_values(),
+            opt_model: self.opt_model.export_state(),
+            opt_baseline: self.opt_baseline.export_state(),
+        }
+    }
+
+    /// Restores parameters and optimizer moments from the last good
+    /// snapshot. The RNG and the step/epoch counters are deliberately NOT
+    /// rewound: training continues forward over fresh data, it does not
+    /// replay the steps that diverged.
+    fn rollback(&mut self, model: &mut KvecModel, step: u64) -> Result<(), TrainError> {
+        let snap = self
+            .snapshot
+            .as_ref()
+            .ok_or(TrainError::NoRollbackTarget { step })?;
+        model.store.restore_values(&snap.values);
+        model.store.zero_grads();
+        self.opt_model
+            .import_state(snap.opt_model.clone())
+            .expect("snapshot always matches its own optimizer");
+        self.opt_baseline
+            .import_state(snap.opt_baseline.clone())
+            .expect("snapshot always matches its own optimizer");
+        self.events.push(RecoveryEvent::RolledBack {
+            step,
+            restored_step: snap.step,
+            bad_steps: self.consecutive_bad,
+        });
+        self.consecutive_bad = 0;
+        Ok(())
     }
 
     /// Trains one pass over a set of scenarios, one optimizer step per
     /// scenario (Algorithm 1's schedule). For multi-core runs see
-    /// [`Trainer::train_epoch_parallel`].
+    /// [`Trainer::train_epoch_parallel`]. Watchdog interventions are
+    /// reported through [`Trainer::take_events`]; `Err` aborts the epoch
+    /// (injected crash, impossible rollback).
     pub fn train_epoch(
         &mut self,
         model: &mut KvecModel,
         scenarios: &[TangledSequence],
         rng: &mut KvecRng,
-    ) -> EpochStats {
+    ) -> Result<EpochStats, TrainError> {
         let mut agg = EpochStats::default();
         for scenario in scenarios {
-            let s = self.train_scenario(model, scenario, rng);
+            let s = self.train_scenario(model, scenario, rng)?;
             self.fold_step(&mut agg, s);
         }
         Self::finish_epoch_stats(&mut agg);
         self.epochs_done += 1;
-        agg
+        Ok(agg)
     }
 
     /// Data-parallel epoch: scenarios are processed in groups of up to
@@ -322,7 +664,7 @@ impl Trainer {
         scenarios: &[TangledSequence],
         rng: &mut KvecRng,
         workers: usize,
-    ) -> EpochStats {
+    ) -> Result<EpochStats, TrainError> {
         if workers <= 1 {
             return self.train_epoch(model, scenarios, rng);
         }
@@ -357,7 +699,16 @@ impl Trainer {
             for &id in &ids {
                 model.store.scale_grad(id, inv);
             }
-            self.apply_step(model);
+            // The watchdog sees the group-mean loss, matching the
+            // group-mean gradient it guards (any NaN member poisons the
+            // mean, so per-worker divergence is still caught).
+            let group_loss = results
+                .iter()
+                .flat_map(|(stats, _)| stats)
+                .map(|s| self.total_loss(s))
+                .sum::<f32>()
+                * inv;
+            self.guarded_step(model, group_loss)?;
             for (stats, _) in results {
                 for s in stats {
                     self.fold_step(&mut agg, s);
@@ -366,7 +717,77 @@ impl Trainer {
         }
         Self::finish_epoch_stats(&mut agg);
         self.epochs_done += 1;
-        agg
+        Ok(agg)
+    }
+
+    /// Atomically writes the complete trainer state — parameters, both
+    /// optimizers' moments and counters, epoch/step/watchdog counters and
+    /// the RNG state — as a versioned, checksummed checkpoint (see
+    /// `kvec_nn::checkpoint` for the container guarantees). Pass the
+    /// *training* RNG so a resumed run continues its exact stream.
+    pub fn save_checkpoint(
+        &self,
+        model: &KvecModel,
+        rng: &KvecRng,
+        path: impl AsRef<Path>,
+    ) -> Result<(), CheckpointError> {
+        let state = TrainerState {
+            params: model.store.values_to_json(),
+            opt_model: self.opt_model.export_state(),
+            opt_baseline: self.opt_baseline.export_state(),
+            epochs_done: self.epochs_done,
+            step: self.step,
+            good_steps: self.good_steps,
+            consecutive_bad: self.consecutive_bad,
+            grad_norm_ema: self.grad_norm_ema,
+            rng_state: rng.state(),
+        };
+        write_atomic(path, checkpoint::encode_state(&state).as_bytes())
+    }
+
+    /// Restores a checkpoint written by [`Trainer::save_checkpoint`] into
+    /// a model freshly built from the *same configuration*, returning the
+    /// reconstructed trainer and training RNG.
+    ///
+    /// **Determinism-after-resume contract:** continuing from the returned
+    /// `(trainer, rng)` produces a trajectory bit-identical to the run
+    /// that wrote the checkpoint had it never stopped — same parameters,
+    /// same stats, same RNG draws. Corruption (torn write, bit rot, wrong
+    /// version, parameter mismatch, non-finite values) is always detected
+    /// here, never deferred to a later forward pass.
+    ///
+    /// The watchdog config and fault injector are not part of a
+    /// checkpoint; re-apply [`Trainer::with_watchdog`] after resuming if a
+    /// non-default config is in use.
+    pub fn resume(
+        cfg: &KvecConfig,
+        model: &mut KvecModel,
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, KvecRng), CheckpointError> {
+        let payload = read_verified(path)?;
+        let state = checkpoint::decode_state(&payload)?;
+        model
+            .store
+            .load_values_json(&state.params)
+            .map_err(CheckpointError::InvalidPayload)?;
+        let mut trainer = Trainer::new(cfg, model);
+        trainer
+            .opt_model
+            .import_state(state.opt_model)
+            .map_err(|e| CheckpointError::InvalidPayload(format!("model optimizer: {e}")))?;
+        trainer
+            .opt_baseline
+            .import_state(state.opt_baseline)
+            .map_err(|e| CheckpointError::InvalidPayload(format!("baseline optimizer: {e}")))?;
+        trainer.epochs_done = state.epochs_done;
+        trainer.step = state.step;
+        trainer.good_steps = state.good_steps;
+        trainer.consecutive_bad = state.consecutive_bad;
+        trainer.grad_norm_ema = state.grad_norm_ema;
+        let rng = KvecRng::from_state(state.rng_state).ok_or_else(|| {
+            CheckpointError::InvalidPayload("rng state is the all-zero fixed point".into())
+        })?;
+        Ok((trainer, rng))
     }
 
     fn fold_step(&self, agg: &mut EpochStats, s: StepStats) {
@@ -433,7 +854,9 @@ mod tests {
             .collect();
 
         let mut trainer = Trainer::new(&cfg, &model);
-        let stats = trainer.train_scenario(&mut model, &ds.train[0], &mut rng);
+        let stats = trainer
+            .train_scenario(&mut model, &ds.train[0], &mut rng)
+            .unwrap();
         assert!(stats.num_keys > 0);
         assert!(stats.loss_ce > 0.0, "CE of an untrained model is positive");
         assert!(stats.earliness > 0.0 && stats.earliness <= 1.0);
@@ -460,10 +883,14 @@ mod tests {
         let mut model = KvecModel::new(&cfg, &mut rng);
         let mut trainer = Trainer::new(&cfg, &model);
 
-        let first = trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        let first = trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .unwrap();
         let mut last = first;
         for _ in 0..6 {
-            last = trainer.train_epoch(&mut model, &ds.train, &mut rng);
+            last = trainer
+                .train_epoch(&mut model, &ds.train, &mut rng)
+                .unwrap();
         }
         assert!(
             last.accuracy > first.accuracy || last.loss < first.loss,
@@ -485,9 +912,13 @@ mod tests {
             let mut stats = Vec::new();
             for _ in 0..2 {
                 stats.push(if parallel_path {
-                    trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, 1)
+                    trainer
+                        .train_epoch_parallel(&mut model, &ds.train, &mut rng, 1)
+                        .unwrap()
                 } else {
-                    trainer.train_epoch(&mut model, &ds.train, &mut rng)
+                    trainer
+                        .train_epoch(&mut model, &ds.train, &mut rng)
+                        .unwrap()
                 });
             }
             (model, stats)
@@ -520,7 +951,9 @@ mod tests {
             let mut rng = KvecRng::seed_from_u64(10);
             let mut model = KvecModel::new(&cfg, &mut rng);
             let mut trainer = Trainer::new(&cfg, &model);
-            let stats = trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, 2);
+            let stats = trainer
+                .train_epoch_parallel(&mut model, &ds.train, &mut rng, 2)
+                .unwrap();
             (model, stats)
         };
         let (m1, s1) = run();
@@ -546,6 +979,7 @@ mod tests {
             for _ in 0..7 {
                 e = trainer
                     .train_epoch(&mut model, &ds.train, &mut rng)
+                    .unwrap()
                     .earliness;
             }
             e

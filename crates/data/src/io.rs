@@ -18,9 +18,27 @@ pub fn save_dataset(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
 }
 
 /// Loads a dataset previously written by [`save_dataset`].
+///
+/// A corrupt file is diagnosable from the error alone: the message names
+/// the path, and for syntax errors the byte offset plus the 1-based
+/// line/column where parsing stopped (shape errors after a successful
+/// parse carry the decoder's own context instead).
 pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let path = path.as_ref();
     let json = fs::read_to_string(path)?;
-    kvec_json::decode(&json).map_err(io::Error::other)
+    kvec_json::decode(&json).map_err(|e| {
+        let msg = match e.offset() {
+            Some(off) => {
+                let (line, col) = kvec_json::line_col(&json, off);
+                format!(
+                    "{}: invalid dataset JSON at line {line}, column {col} (byte {off}): {e}",
+                    path.display()
+                )
+            }
+            None => format!("{}: invalid dataset: {e}", path.display()),
+        };
+        io::Error::new(io::ErrorKind::InvalidData, msg)
+    })
 }
 
 #[cfg(test)]
@@ -50,5 +68,28 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(load_dataset("/nonexistent/kvec/ds.json").is_err());
+    }
+
+    #[test]
+    fn corrupt_file_error_names_path_and_position() {
+        let dir = std::env::temp_dir().join("kvec-data-io-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Syntax corruption: position is reported as line/column/byte.
+        let path = dir.join("bad.json");
+        fs::write(&path, "{\"name\": \"x\",\n  broken!}").unwrap();
+        let err = load_dataset(&path).unwrap_err().to_string();
+        assert!(err.contains("bad.json"), "no path in: {err}");
+        assert!(err.contains("line 2"), "no line in: {err}");
+        assert!(err.contains("byte"), "no byte offset in: {err}");
+
+        // Shape corruption (valid JSON, wrong structure): path is still
+        // named, with the decoder's own context.
+        let path2 = dir.join("shape.json");
+        fs::write(&path2, "[1,2,3]").unwrap();
+        let err2 = load_dataset(&path2).unwrap_err().to_string();
+        assert!(err2.contains("shape.json"), "no path in: {err2}");
+
+        fs::remove_dir_all(dir).ok();
     }
 }

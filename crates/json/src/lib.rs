@@ -16,7 +16,7 @@ mod parse;
 mod value;
 mod write;
 
-pub use parse::JsonError;
+pub use parse::{line_col, JsonError};
 pub use value::Json;
 
 /// Conversion into a [`Json`] value.

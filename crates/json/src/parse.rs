@@ -7,13 +7,43 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     msg: String,
+    offset: Option<usize>,
 }
 
 impl JsonError {
-    /// Creates an error with a message.
+    /// Creates an error with a message (no position information —
+    /// conversion/shape errors happen after parsing).
     pub fn new(msg: impl Into<String>) -> Self {
-        Self { msg: msg.into() }
+        Self {
+            msg: msg.into(),
+            offset: None,
+        }
     }
+
+    /// Creates a parse error anchored at a byte offset in the input.
+    pub fn at(msg: impl Into<String>, offset: usize) -> Self {
+        Self {
+            msg: msg.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// Byte offset into the parsed text where the error occurred, when the
+    /// error came from the parser (conversion errors carry no position).
+    /// Callers that still have the input text can turn this into a
+    /// line/column with [`line_col`].
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+}
+
+/// Computes the 1-based `(line, column)` of a byte offset in `text` —
+/// the human-readable form of [`JsonError::offset`] for diagnostics.
+pub fn line_col(text: &str, offset: usize) -> (usize, usize) {
+    let upto = &text.as_bytes()[..offset.min(text.len())];
+    let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, col)
 }
 
 impl fmt::Display for JsonError {
@@ -52,7 +82,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError::new(format!("{msg} at byte {}", self.pos))
+        JsonError::at(format!("{msg} at byte {}", self.pos), self.pos)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -361,5 +391,23 @@ mod tests {
     fn control_characters_must_be_escaped() {
         assert!(Json::parse("\"a\nb\"").is_err());
         assert_eq!(Json::parse(r#""a\nb""#).unwrap(), Json::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parse_errors_carry_a_byte_offset() {
+        let text = "[1,\n 2,\n x]";
+        let err = Json::parse(text).unwrap_err();
+        let off = err.offset().expect("parse error has offset");
+        assert_eq!(&text[off..off + 1], "x");
+        assert_eq!(line_col(text, off), (3, 2));
+        // Conversion errors have no position.
+        assert!(JsonError::new("shape mismatch").offset().is_none());
+    }
+
+    #[test]
+    fn line_col_handles_boundaries() {
+        assert_eq!(line_col("", 0), (1, 1));
+        assert_eq!(line_col("ab", 99), (1, 3)); // clamped to end
+        assert_eq!(line_col("a\nb", 2), (2, 1));
     }
 }

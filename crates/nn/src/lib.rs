@@ -12,9 +12,13 @@
 //! - optimizers ([`Sgd`], [`Adam`]) with parameter groups so different
 //!   sub-networks can train at different learning rates (the paper trains
 //!   the value baseline with its own rate, Algorithm 1 line 19);
-//! - loss helpers (softmax cross-entropy, MSE).
+//! - loss helpers (softmax cross-entropy, MSE);
+//! - a crash-safe [`checkpoint`] container (versioned header, embedded
+//!   checksum, atomic write) that the `kvec` trainer builds its resumable
+//!   checkpoints on.
 
 mod attention;
+pub mod checkpoint;
 mod dropout;
 mod embedding;
 mod layernorm;
@@ -27,12 +31,13 @@ mod schedule;
 mod session;
 
 pub use attention::{causal_mask, AttentionBlock, AttentionTrace};
+pub use checkpoint::CheckpointError;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use layernorm::LayerNorm;
 pub use linear::{FeedForward, Linear};
 pub use lstm::{LstmCell, LstmState};
-pub use optim::{clip_global_norm, Adam, AdamW, Optimizer, Sgd};
+pub use optim::{clip_global_norm, Adam, AdamState, AdamW, Optimizer, Sgd};
 pub use param::{ParamId, ParamStore};
 pub use schedule::LrSchedule;
 pub use session::Session;

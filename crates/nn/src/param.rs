@@ -148,54 +148,110 @@ impl ParamStore {
             .any(|e| e.value.has_non_finite() || e.grad.has_non_finite())
     }
 
-    /// Writes a checkpoint of every parameter (name + tensor) as JSON
-    /// (an array of `[name, tensor]` pairs, the same layout the earlier
-    /// serde-based format produced).
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    /// True if any accumulated gradient contains NaN/inf — the divergence
+    /// watchdog's pre-step check (values are covered by the post-step
+    /// check, so the two failure modes are reported distinctly).
+    pub fn has_non_finite_grad(&self) -> bool {
+        self.entries.iter().any(|e| e.grad.has_non_finite())
+    }
+
+    /// Serializes every parameter (name + tensor) as a JSON value — an
+    /// array of `[name, tensor]` pairs, the same layout the earlier
+    /// serde-based format produced. Used both by the legacy weights file
+    /// ([`ParamStore::save`]) and embedded inside the trainer's versioned
+    /// checkpoint payload.
+    pub fn values_to_json(&self) -> kvec_json::Json {
+        use kvec_json::ToJson;
         let dump: Vec<(&str, &Tensor)> = self
             .entries
             .iter()
             .map(|e| (e.name.as_str(), &e.value))
             .collect();
-        let json = kvec_json::encode(&dump);
+        dump.to_json()
+    }
+
+    /// Restores parameter values from a JSON value produced by
+    /// [`ParamStore::values_to_json`] into an already-constructed store
+    /// (the state-dict pattern: build the model from the same config first,
+    /// then load). Fails — leaving already-written entries in place but
+    /// never silently accepting bad data — if names, order, shapes or
+    /// count differ, or if any restored tensor carries NaN/inf (a poisoned
+    /// checkpoint must not reach the next forward pass).
+    pub fn load_values_json(&mut self, j: &kvec_json::Json) -> Result<(), String> {
+        use kvec_json::FromJson;
+        let dump = Vec::<(String, Tensor)>::from_json(j).map_err(|e| e.to_string())?;
+        if dump.len() != self.entries.len() {
+            return Err(format!(
+                "checkpoint has {} parameters, model has {}",
+                dump.len(),
+                self.entries.len()
+            ));
+        }
+        for (entry, (name, value)) in self.entries.iter_mut().zip(dump) {
+            if entry.name != name {
+                return Err(format!(
+                    "parameter name mismatch: model `{}` vs checkpoint `{name}`",
+                    entry.name
+                ));
+            }
+            if entry.value.shape() != value.shape() {
+                return Err(format!(
+                    "shape mismatch for `{name}`: model {:?} vs checkpoint {:?}",
+                    entry.value.shape(),
+                    value.shape()
+                ));
+            }
+            if value.has_non_finite() {
+                return Err(format!(
+                    "parameter `{name}` contains non-finite values; refusing to load \
+                     a poisoned checkpoint"
+                ));
+            }
+            entry.value = value;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint of every parameter (name + tensor) as JSON.
+    /// This is the legacy raw-JSON weights format; the fault-tolerant
+    /// trainer checkpoint (versioned, checksummed, atomic) lives in
+    /// `kvec`'s `Trainer::save_checkpoint`.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = self.values_to_json().dump();
         if let Some(parent) = path.as_ref().parent() {
             std::fs::create_dir_all(parent)?;
         }
         std::fs::write(path, json)
     }
 
-    /// Restores a checkpoint written by [`ParamStore::save`] into an
-    /// already-constructed store (the state-dict pattern: build the model
-    /// from the same config first, then load). Fails if names, order or
-    /// shapes differ.
+    /// Restores a checkpoint written by [`ParamStore::save`]. Same
+    /// validation as [`ParamStore::load_values_json`], including the
+    /// non-finite rejection.
     pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let json = std::fs::read_to_string(path)?;
-        let dump: Vec<(String, Tensor)> =
-            kvec_json::decode(&json).map_err(std::io::Error::other)?;
-        if dump.len() != self.entries.len() {
-            return Err(std::io::Error::other(format!(
-                "checkpoint has {} parameters, model has {}",
-                dump.len(),
-                self.entries.len()
-            )));
+        let value = kvec_json::Json::parse(&json).map_err(std::io::Error::other)?;
+        self.load_values_json(&value).map_err(std::io::Error::other)
+    }
+
+    /// Clones every parameter value in id order — the in-memory snapshot
+    /// the divergence watchdog rolls back to.
+    pub fn snapshot_values(&self) -> Vec<Tensor> {
+        self.entries.iter().map(|e| e.value.clone()).collect()
+    }
+
+    /// Restores values captured by [`ParamStore::snapshot_values`].
+    /// Panics on count/shape mismatch — snapshots never leave the process,
+    /// so a mismatch is a caller bug, not corrupt input.
+    pub fn restore_values(&mut self, values: &[Tensor]) {
+        assert_eq!(
+            values.len(),
+            self.entries.len(),
+            "snapshot/store length mismatch"
+        );
+        for (entry, v) in self.entries.iter_mut().zip(values) {
+            assert_eq!(entry.value.shape(), v.shape(), "snapshot shape mismatch");
+            entry.value = v.clone();
         }
-        for (entry, (name, value)) in self.entries.iter_mut().zip(dump) {
-            if entry.name != name {
-                return Err(std::io::Error::other(format!(
-                    "parameter name mismatch: model `{}` vs checkpoint `{name}`",
-                    entry.name
-                )));
-            }
-            if entry.value.shape() != value.shape() {
-                return Err(std::io::Error::other(format!(
-                    "shape mismatch for `{name}`: model {:?} vs checkpoint {:?}",
-                    entry.value.shape(),
-                    value.shape()
-                )));
-            }
-            entry.value = value;
-        }
-        Ok(())
     }
 }
 
@@ -276,6 +332,54 @@ mod tests {
         shaped.add("w", Tensor::zeros(1, 2));
         assert!(shaped.load(&path).is_err());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_load_rejects_non_finite_values() {
+        // Two poisoning routes: a NaN tensor round-trips as JSON `null`
+        // (type error at decode), and an f64 literal beyond f32 range
+        // casts to `inf` — the explicit non-finite check must catch the
+        // latter so it never reaches a forward pass.
+        let dir = std::env::temp_dir().join("kvec-nn-ckpt-nan");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let null_path = dir.join("null.json");
+        let mut nan_store = ParamStore::new();
+        let id = nan_store.add("w", Tensor::zeros(1, 2));
+        nan_store.value_mut(id).data_mut()[1] = f32::NAN;
+        nan_store.save(&null_path).unwrap();
+
+        let inf_path = dir.join("inf.json");
+        std::fs::write(
+            &inf_path,
+            r#"[["w",{"data":[0.0,1e300],"rows":1,"cols":2}]]"#,
+        )
+        .unwrap();
+
+        for path in [&null_path, &inf_path] {
+            let mut fresh = ParamStore::new();
+            fresh.add("w", Tensor::zeros(1, 2));
+            assert!(fresh.load(path).is_err(), "poisoned {path:?} loaded");
+            // The target store keeps its pristine values.
+            assert!(!fresh.has_non_finite());
+        }
+        let err = {
+            let mut fresh = ParamStore::new();
+            fresh.add("w", Tensor::zeros(1, 2));
+            fresh.load(&inf_path).unwrap_err().to_string()
+        };
+        assert!(err.contains("non-finite"), "unexpected error: {err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", Tensor::row_vector(&[1.0, 2.0]));
+        let snap = ps.snapshot_values();
+        ps.value_mut(id).data_mut()[0] = 99.0;
+        ps.restore_values(&snap);
+        assert_eq!(ps.value(id).data(), &[1.0, 2.0]);
     }
 
     #[test]

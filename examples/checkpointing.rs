@@ -33,7 +33,9 @@ fn main() {
     let mut model = KvecModel::new(&cfg, &mut rng);
     let mut trainer = Trainer::new(&cfg, &model);
     for _ in 0..12 {
-        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .expect("training failed");
     }
     let before = evaluate(&model, &ds.test);
     println!(
@@ -67,5 +69,56 @@ fn main() {
     }
     println!("streaming decisions identical across the checkpoint round-trip");
 
-    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    // --- crash and resume ---
+    // Weights files capture the model only. A *trainer* checkpoint
+    // captures the whole training trajectory (parameters, optimizer
+    // moments, epoch/step counters, RNG state), so an interrupted run can
+    // continue exactly where it stopped. Simulate a crash after 6 of 12
+    // epochs and show the resumed run lands on the very same model.
+    let ckpt = std::env::temp_dir().join("kvec-example-checkpoint/trainer.ckpt");
+    let mut rng_a = KvecRng::seed_from_u64(23);
+    let mut model_a = KvecModel::new(&cfg, &mut rng_a);
+    let mut trainer_a = Trainer::new(&cfg, &model_a);
+    for _ in 0..12 {
+        trainer_a
+            .train_epoch(&mut model_a, &ds.train, &mut rng_a)
+            .expect("training failed");
+    }
+
+    let mut rng_b = KvecRng::seed_from_u64(23);
+    let mut model_b = KvecModel::new(&cfg, &mut rng_b);
+    let mut trainer_b = Trainer::new(&cfg, &model_b);
+    for _ in 0..6 {
+        trainer_b
+            .train_epoch(&mut model_b, &ds.train, &mut rng_b)
+            .expect("training failed");
+    }
+    trainer_b
+        .save_checkpoint(&model_b, &rng_b, &ckpt)
+        .expect("save trainer checkpoint");
+    drop((trainer_b, model_b, rng_b)); // the "crash"
+
+    let mut model_c = KvecModel::new(&cfg, &mut KvecRng::seed_from_u64(999));
+    let (mut trainer_c, mut rng_c) =
+        Trainer::resume(&cfg, &mut model_c, &ckpt).expect("resume trainer checkpoint");
+    for _ in trainer_c.epochs_done()..12 {
+        trainer_c
+            .train_epoch(&mut model_c, &ds.train, &mut rng_c)
+            .expect("training failed");
+    }
+    let resumed = evaluate(&model_c, &ds.test);
+    println!(
+        "resumed run   : accuracy {:.3}, earliness {:.3}",
+        resumed.accuracy, resumed.earliness
+    );
+    for id in model_a.store.ids() {
+        assert_eq!(
+            model_a.store.value(id),
+            model_c.store.value(id),
+            "resumed run must be bit-identical to the uninterrupted one"
+        );
+    }
+    println!("crash at epoch 6 + resume reproduces the 12-epoch run exactly");
+
+    std::fs::remove_dir_all(ckpt.parent().unwrap()).ok();
 }

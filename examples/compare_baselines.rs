@@ -49,7 +49,9 @@ fn main() {
         let mut model = KvecModel::new(&cfg, &mut rng);
         let mut trainer = Trainer::new(&cfg, &model);
         for _ in 0..epochs {
-            trainer.train_epoch(&mut model, &ds.train, &mut rng);
+            trainer
+                .train_epoch(&mut model, &ds.train, &mut rng)
+                .expect("training failed");
         }
         let r = evaluate(&model, &ds.test);
         println!(

@@ -47,7 +47,9 @@ fn main() {
     // 3. Train (Algorithm 1): joint CE + REINFORCE + lateness penalty.
     let mut trainer = Trainer::new(&cfg, &model);
     for epoch in 0..25 {
-        let stats = trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        let stats = trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .expect("training failed");
         if epoch % 5 == 4 {
             println!(
                 "epoch {:>2}: loss {:.3}, train acc {:.3}, train earliness {:.3}",

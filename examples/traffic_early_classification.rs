@@ -38,7 +38,9 @@ fn main() {
     let mut trainer = Trainer::new(&cfg, &model);
     print!("training");
     for _ in 0..25 {
-        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .expect("training failed");
         print!(".");
         use std::io::Write;
         std::io::stdout().flush().ok();
@@ -58,7 +60,7 @@ fn main() {
     let mut correct = 0;
     let mut decided = 0;
     for (pos, item) in scenario.items.iter().enumerate() {
-        if let Some(decision) = engine.feed(item) {
+        if let Some(decision) = engine.feed(item).expect("live stream faulted") {
             let truth = labels[&decision.key];
             let verdict = if decision.pred == truth {
                 "ok "

@@ -24,7 +24,9 @@ fn train_at_beta(ds: &Dataset, beta: f32, seed: u64) -> kvec::EvalReport {
     let mut model = KvecModel::new(&cfg, &mut rng);
     let mut trainer = Trainer::new(&cfg, &model);
     for _ in 0..15 {
-        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .expect("training failed");
     }
     evaluate(&model, &ds.test)
 }

@@ -23,7 +23,9 @@ fn pipeline(seed: u64) -> (f32, f32) {
     let mut model = KvecModel::new(&mcfg, &mut rng);
     let mut trainer = Trainer::new(&mcfg, &model);
     for _ in 0..3 {
-        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .unwrap();
     }
     let r = evaluate(&model, &ds.test);
     (r.accuracy, r.earliness)
@@ -88,7 +90,7 @@ fn loaded_dataset_trains_identically_to_original() {
         let mcfg = KvecConfig::tiny(&d.schema, 2);
         let mut model = KvecModel::new(&mcfg, &mut rng);
         let mut trainer = Trainer::new(&mcfg, &model);
-        trainer.train_epoch(&mut model, &d.train, &mut rng);
+        trainer.train_epoch(&mut model, &d.train, &mut rng).unwrap();
         evaluate(&model, &d.test).accuracy
     };
     assert_eq!(run(&ds), run(&loaded));

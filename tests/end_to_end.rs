@@ -31,7 +31,9 @@ fn trained_model(ds: &Dataset, beta: f32, epochs: usize, seed: u64) -> KvecModel
     let mut model = KvecModel::new(&cfg, &mut rng);
     let mut trainer = Trainer::new(&cfg, &model);
     for _ in 0..epochs {
-        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .unwrap();
     }
     model
 }
@@ -76,7 +78,9 @@ fn correlations_help_on_tangled_data() {
     let mut ablated = KvecModel::new(&cfg, &mut rng);
     let mut trainer = Trainer::new(&cfg, &ablated);
     for _ in 0..12 {
-        trainer.train_epoch(&mut ablated, &ds.train, &mut rng);
+        trainer
+            .train_epoch(&mut ablated, &ds.train, &mut rng)
+            .unwrap();
     }
     let bare = evaluate(&ablated, &ds.test);
 

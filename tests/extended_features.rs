@@ -46,7 +46,9 @@ fn confusion_matrix_agrees_with_report_accuracy() {
     let mut model = KvecModel::new(&cfg, &mut rng2);
     let mut trainer = Trainer::new(&cfg, &model);
     for _ in 0..4 {
-        trainer.train_epoch(&mut model, &ds.train, &mut rng2);
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng2)
+            .unwrap();
     }
     let report = evaluate(&model, &ds.test);
     let cm = report.confusion_matrix(3);
@@ -70,7 +72,9 @@ fn multihead_layernorm_variant_trains_and_checkpoints() {
     let mut model = KvecModel::new(&cfg, &mut rng);
     let mut trainer = Trainer::new(&cfg, &model);
     for _ in 0..3 {
-        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .unwrap();
     }
     assert!(!model.store.has_non_finite());
     let before = evaluate(&model, &ds.test);
@@ -108,7 +112,9 @@ fn clustered_tangling_trains_end_to_end() {
     let cfg = KvecConfig::tiny(&ds.schema, 3);
     let mut model = KvecModel::new(&cfg, &mut rng);
     let mut trainer = Trainer::new(&cfg, &model);
-    let stats = trainer.train_epoch(&mut model, &ds.train, &mut rng);
+    let stats = trainer
+        .train_epoch(&mut model, &ds.train, &mut rng)
+        .unwrap();
     assert!(stats.num_keys > 0);
     assert!(!model.store.has_non_finite());
 }

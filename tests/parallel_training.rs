@@ -31,7 +31,9 @@ fn train(ds: &Dataset, workers: usize, epochs: usize) -> (KvecModel, Vec<(f32, f
     let mut trainer = Trainer::new(&cfg, &model);
     let mut trajectory = Vec::with_capacity(epochs);
     for _ in 0..epochs {
-        let s = trainer.train_epoch_parallel(&mut model, &ds.train, &mut rng, workers);
+        let s = trainer
+            .train_epoch_parallel(&mut model, &ds.train, &mut rng, workers)
+            .unwrap();
         trajectory.push((s.loss, s.accuracy));
     }
     (model, trajectory)
@@ -48,7 +50,9 @@ fn one_worker_reproduces_the_serial_trajectory() {
     let mut trainer = Trainer::new(&cfg, &serial_model);
     let mut serial_traj = Vec::new();
     for _ in 0..2 {
-        let s = trainer.train_epoch(&mut serial_model, &ds.train, &mut rng);
+        let s = trainer
+            .train_epoch(&mut serial_model, &ds.train, &mut rng)
+            .unwrap();
         serial_traj.push((s.loss, s.accuracy));
     }
 

@@ -27,7 +27,9 @@ fn setup(seed: u64) -> (KvecModel, Dataset) {
     let mut model = KvecModel::new(&mcfg, &mut rng);
     let mut trainer = Trainer::new(&mcfg, &model);
     for _ in 0..6 {
-        trainer.train_epoch(&mut model, &ds.train, &mut rng);
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .unwrap();
     }
     (model, ds)
 }
@@ -67,7 +69,7 @@ fn streaming_decisions_are_causal() {
     let mut engine = StreamingEngine::new(&model);
     let mut early_decisions = Vec::new();
     for item in &prefix.items {
-        if let Some(d) = engine.feed(item) {
+        if let Some(d) = engine.feed(item).unwrap() {
             early_decisions.push(d);
         }
     }
@@ -90,7 +92,7 @@ fn engine_throughput_state_grows_linearly() {
     let scenario = &ds.test[0];
     let mut engine = StreamingEngine::new(&model);
     for (i, item) in scenario.items.iter().enumerate() {
-        let _ = engine.feed(item);
+        let _ = engine.feed(item).unwrap();
         assert_eq!(engine.items_seen(), i + 1);
         assert!(engine.halted_count() <= scenario.num_keys());
     }
