@@ -12,7 +12,7 @@
 
 use kvec::train::Trainer;
 use kvec::{KvecConfig, KvecModel};
-use kvec_bench::timing::time_best_ms;
+use kvec_bench::timing::{stats_direct, Stats};
 use kvec_data::synth::{generate_traffic, TrafficConfig};
 use kvec_data::Dataset;
 use kvec_json::{Json, ToJson};
@@ -26,6 +26,20 @@ fn gflops(m: usize, k: usize, n: usize, ms: f64) -> f64 {
     (2.0 * m as f64 * k as f64 * n as f64) / (ms * 1e-3) / 1e9
 }
 
+/// Full per-target statistics in milliseconds. Reports keep a top-level
+/// `ms` (the minimum, the low-noise point estimate) and carry the spread
+/// here.
+fn stats_ms_json(s: &Stats) -> Json {
+    Json::obj([
+        ("min_ms", (s.min_ns / 1e6).to_json()),
+        ("median_ms", (s.median_ns / 1e6).to_json()),
+        ("mean_ms", (s.mean_ns / 1e6).to_json()),
+        ("stddev_ms", (s.stddev_ns / 1e6).to_json()),
+        ("p95_ms", (s.p95_ns / 1e6).to_json()),
+        ("samples", s.samples.to_json()),
+    ])
+}
+
 fn matmul_sweep() -> Json {
     let mut out = Vec::new();
     for n in [128usize, 256, 512] {
@@ -33,18 +47,21 @@ fn matmul_sweep() -> Json {
         let mut rng = KvecRng::seed_from_u64(1);
         let a = Tensor::rand_uniform(n, n, -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(n, n, -1.0, 1.0, &mut rng);
-        let ref_ms = time_best_ms(reps, || {
+        let ref_stats = stats_direct(reps, || {
             black_box(a.matmul_reference(&b).unwrap());
         });
+        let ref_ms = ref_stats.min_ns / 1e6;
         let blocked: Vec<Json> = THREADS
             .iter()
             .map(|&t| {
-                let ms = time_best_ms(reps, || {
+                let stats = stats_direct(reps, || {
                     parallel::with_threads(t, || black_box(a.matmul(&b)));
                 });
+                let ms = stats.min_ns / 1e6;
                 Json::obj([
                     ("threads", t.to_json()),
                     ("ms", ms.to_json()),
+                    ("stats", stats_ms_json(&stats)),
                     ("gflops", gflops(n, n, n, ms).to_json()),
                     ("speedup_vs_reference", (ref_ms / ms).to_json()),
                 ])
@@ -54,6 +71,7 @@ fn matmul_sweep() -> Json {
         out.push(Json::obj([
             ("shape", vec![n, n, n].to_json()),
             ("reference_ms", ref_ms.to_json()),
+            ("reference_stats", stats_ms_json(&ref_stats)),
             ("reference_gflops", gflops(n, n, n, ref_ms).to_json()),
             ("blocked", Json::Arr(blocked)),
         ]));
@@ -71,7 +89,7 @@ fn attention_sweep() -> Json {
     let x = Tensor::rand_uniform(t_len, d_model, -1.0, 1.0, &mut rng);
     let mask = causal_mask(t_len);
     let step = |threads: usize| {
-        time_best_ms(10, || {
+        stats_direct(10, || {
             parallel::with_threads(threads, || {
                 let sess = Session::new();
                 let xv = sess.input(x.clone());
@@ -79,15 +97,17 @@ fn attention_sweep() -> Json {
             });
         })
     };
-    let serial_ms = step(1);
+    let serial_ms = step(1).min_ns / 1e6;
     eprintln!("attention step t={t_len}: serial {serial_ms:.3} ms");
     let sweep: Vec<Json> = THREADS
         .iter()
         .map(|&t| {
-            let ms = step(t);
+            let stats = step(t);
+            let ms = stats.min_ns / 1e6;
             Json::obj([
                 ("threads", t.to_json()),
                 ("ms", ms.to_json()),
+                ("stats", stats_ms_json(&stats)),
                 ("speedup_vs_serial", (serial_ms / ms).to_json()),
             ])
         })
@@ -117,11 +137,11 @@ fn epoch_sweep() -> Json {
 
     // One fresh model + trainer per worker count so every measurement does
     // the same amount of work from the same state.
-    let epoch_ms = |workers: usize| {
+    let epoch_stats = |workers: usize| {
         let mut rng = KvecRng::seed_from_u64(4);
         let mut model = KvecModel::new(&cfg, &mut rng);
         let mut trainer = Trainer::new(&cfg, &model);
-        time_best_ms(3, || {
+        stats_direct(3, || {
             black_box(
                 trainer
                     .train_epoch_parallel(&mut model, &ds.train, &mut rng, workers)
@@ -129,7 +149,7 @@ fn epoch_sweep() -> Json {
             );
         })
     };
-    let serial_ms = epoch_ms(1);
+    let serial_ms = epoch_stats(1).min_ns / 1e6;
     eprintln!(
         "epoch ({} scenarios): serial {serial_ms:.1} ms",
         ds.train.len()
@@ -137,10 +157,12 @@ fn epoch_sweep() -> Json {
     let sweep: Vec<Json> = THREADS
         .iter()
         .map(|&w| {
-            let ms = epoch_ms(w);
+            let stats = epoch_stats(w);
+            let ms = stats.min_ns / 1e6;
             Json::obj([
                 ("workers", w.to_json()),
                 ("ms", ms.to_json()),
+                ("stats", stats_ms_json(&stats)),
                 ("speedup_vs_serial", (serial_ms / ms).to_json()),
             ])
         })
@@ -160,10 +182,15 @@ fn main() {
         ),
         (
             "host",
-            Json::obj([(
-                "available_parallelism",
-                parallel::hardware_threads().to_json(),
-            )]),
+            Json::obj([
+                ("os", std::env::consts::OS.to_json()),
+                ("arch", std::env::consts::ARCH.to_json()),
+                (
+                    "available_parallelism",
+                    parallel::hardware_threads().to_json(),
+                ),
+                ("kvec_threads", parallel::num_threads().to_json()),
+            ]),
         ),
         ("matmul", matmul_sweep()),
         ("attention_step", attention_sweep()),

@@ -48,10 +48,43 @@ pub struct Stats {
     pub median_ns: f64,
     /// Mean per-iteration time in nanoseconds.
     pub mean_ns: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for a single sample).
+    pub stddev_ns: f64,
+    /// 95th-percentile per-iteration time (nearest-rank).
+    pub p95_ns: f64,
     /// Iterations per measured sample (adaptive batch size).
     pub batch: usize,
     /// Number of samples collected.
     pub samples: usize,
+}
+
+/// Summary statistics of raw per-iteration samples (ns).
+fn summarize(mut per_iter: Vec<f64>, batch: usize) -> Stats {
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let n = per_iter.len();
+    let min_ns = per_iter[0];
+    let median_ns = per_iter[n / 2];
+    let mean_ns = per_iter.iter().sum::<f64>() / n as f64;
+    let stddev_ns = if n > 1 {
+        let var = per_iter
+            .iter()
+            .map(|&x| (x - mean_ns) * (x - mean_ns))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    } else {
+        0.0
+    };
+    let p95_ns = per_iter[((0.95 * (n - 1) as f64).round() as usize).min(n - 1)];
+    Stats {
+        min_ns,
+        median_ns,
+        mean_ns,
+        stddev_ns,
+        p95_ns,
+        batch,
+        samples: n,
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -154,17 +187,21 @@ pub fn measure(samples: usize, mut f: impl FnMut()) -> Stats {
         }
         per_iter.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
     }
-    per_iter.sort_by(|a, b| a.total_cmp(b));
-    let min_ns = per_iter[0];
-    let median_ns = per_iter[per_iter.len() / 2];
-    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-    Stats {
-        min_ns,
-        median_ns,
-        mean_ns,
-        batch,
-        samples: per_iter.len(),
+    summarize(per_iter, batch)
+}
+
+/// Full statistics over `reps` direct calls of `f` (no batching, no
+/// warmup): the macro-scale companion of [`time_best_ms`] for bodies long
+/// enough to time individually — an epoch, a full forward pass.
+pub fn stats_direct(reps: usize, mut f: impl FnMut()) -> Stats {
+    let reps = reps.max(1);
+    let mut per_iter = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        per_iter.push(t0.elapsed().as_secs_f64() * 1e9);
     }
+    summarize(per_iter, 1)
 }
 
 #[cfg(test)]
@@ -188,6 +225,32 @@ mod tests {
         assert!(s.min_ns <= s.median_ns);
         assert!(s.batch >= 1);
         assert_eq!(s.samples, 5);
+        assert!(s.stddev_ns >= 0.0 && s.stddev_ns.is_finite());
+        assert!(s.min_ns <= s.p95_ns && s.p95_ns <= s.min_ns + 1e12);
+        assert!(s.median_ns <= s.p95_ns);
+    }
+
+    #[test]
+    fn summary_statistics_match_a_known_sample() {
+        // 20 samples 1..=20 ns: median (index 10 of sorted) = 11, mean =
+        // 10.5, sample stddev = sqrt(35) ~ 5.916, p95 (nearest rank at
+        // round(0.95*19) = 18) = 19.
+        let s = summarize((1..=20).map(f64::from).collect(), 1);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.median_ns, 11.0);
+        assert_eq!(s.mean_ns, 10.5);
+        assert!((s.stddev_ns - 35f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.p95_ns, 19.0);
+        assert_eq!(s.samples, 20);
+    }
+
+    #[test]
+    fn stats_direct_times_each_call() {
+        let s = stats_direct(3, || std::thread::sleep(Duration::from_millis(1)));
+        assert_eq!(s.batch, 1);
+        assert_eq!(s.samples, 3);
+        assert!(s.min_ns >= 1e6);
+        assert!(s.p95_ns >= s.median_ns);
     }
 
     #[test]

@@ -16,9 +16,17 @@ use crate::ectl::{Action, Ectl};
 use crate::mask::MaskBuilder;
 use crate::model::KvecModel;
 use kvec_data::{Item, Key, TangledSequence};
+use kvec_json::Json;
+use kvec_obs::{self as obs, LazyCounter, LazyGauge, Level};
 use kvec_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Distinct keys with live fusion state (sampled after every accepted
+/// item; its high-water mark is the memory bound a deployment needs).
+static ACTIVE_KEYS_GAUGE: LazyGauge = LazyGauge::new("stream.active_keys");
+static STREAM_ITEMS: LazyCounter = LazyCounter::new("stream.items");
+static STREAM_HALTS: LazyCounter = LazyCounter::new("stream.halts");
 
 /// Misuse of a [`StreamingEngine`], reported as a typed error instead of
 /// silently corrupting per-key state.
@@ -90,6 +98,7 @@ pub struct StreamingEngine<'m> {
     t: usize,
     finished: bool,
     max_active_keys: Option<usize>,
+    high_water: usize,
 }
 
 impl<'m> StreamingEngine<'m> {
@@ -108,6 +117,7 @@ impl<'m> StreamingEngine<'m> {
             t: 0,
             finished: false,
             max_active_keys: None,
+            high_water: 0,
         }
     }
 
@@ -137,6 +147,18 @@ impl<'m> StreamingEngine<'m> {
         self.keys_state.values().filter(|s| s.halted).count()
     }
 
+    /// Number of distinct keys currently holding fusion state.
+    pub fn active_keys(&self) -> usize {
+        self.keys_state.len()
+    }
+
+    /// The most keys this engine has ever tracked at once — the number a
+    /// deployment should compare against
+    /// [`StreamingEngine::with_max_active_keys`].
+    pub fn active_keys_high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Feeds one arriving item. Returns `Ok(Some(decision))` when this item
     /// makes its sequence halt; items of already-halted sequences still
     /// enter the attention caches (they remain visible context for other
@@ -155,6 +177,7 @@ impl<'m> StreamingEngine<'m> {
                 return Err(StreamError::ActiveKeyLimit { limit });
             }
         }
+        STREAM_ITEMS.add(1);
         let model = self.model;
         let store = &model.store;
         let session_code = item.value[model.cfg.session_field];
@@ -204,8 +227,7 @@ impl<'m> StreamingEngine<'m> {
 
         // Fusion + halting for this key (skipped once halted).
         let d = model.cfg.fusion_hidden;
-        let state = self
-            .keys_state
+        self.keys_state
             .entry(item.key)
             .or_insert_with(|| KeySeqState {
                 h: Tensor::zeros(1, d),
@@ -213,6 +235,13 @@ impl<'m> StreamingEngine<'m> {
                 n_items: 0,
                 halted: false,
             });
+        let active = self.keys_state.len();
+        self.high_water = self.high_water.max(active);
+        ACTIVE_KEYS_GAUGE.set(active as f64);
+        let state = self
+            .keys_state
+            .get_mut(&item.key)
+            .expect("entry inserted above");
         state.n_items += 1;
         if state.halted {
             return Ok(None);
@@ -228,14 +257,17 @@ impl<'m> StreamingEngine<'m> {
         if Ectl::threshold_action(p_halt, model.cfg.halt_threshold) == Action::Halt {
             state.halted = true;
             let (pred, probs) = model.classifier.predict(store, &state.h);
-            return Ok(Some(Decision {
+            let decision = Decision {
                 key: item.key,
                 pred,
                 probs: probs.into_vec(),
                 n_items: state.n_items,
                 global_pos,
                 halted_by_policy: true,
-            }));
+            };
+            STREAM_HALTS.add(1);
+            emit_decision(&decision);
+            return Ok(Some(decision));
         }
         Ok(None)
     }
@@ -255,14 +287,17 @@ impl<'m> StreamingEngine<'m> {
             }
             state.halted = true;
             let (pred, probs) = model.classifier.predict(&model.store, &state.h);
-            decisions.push(Decision {
+            let decision = Decision {
                 key,
                 pred,
                 probs: probs.into_vec(),
                 n_items: state.n_items,
                 global_pos: self.t.saturating_sub(1),
                 halted_by_policy: false,
-            });
+            };
+            STREAM_HALTS.add(1);
+            emit_decision(&decision);
+            decisions.push(decision);
         }
         decisions
     }
@@ -288,6 +323,24 @@ impl KeySeqState {
     fn n_items_total(&self) -> usize {
         self.n_items
     }
+}
+
+/// Debug-level record of one emitted [`Decision`].
+fn emit_decision(d: &Decision) {
+    if !obs::event_enabled(Level::Debug) {
+        return;
+    }
+    obs::event(
+        Level::Debug,
+        "stream.decision",
+        &[
+            ("key", Json::Int(d.key.0 as i128)),
+            ("pred", Json::Int(d.pred as i128)),
+            ("n_items", Json::Int(d.n_items as i128)),
+            ("global_pos", Json::Int(d.global_pos as i128)),
+            ("halted_by_policy", Json::Bool(d.halted_by_policy)),
+        ],
+    );
 }
 
 #[cfg(test)]
@@ -356,6 +409,8 @@ mod tests {
             let _ = engine.feed(item).unwrap();
         }
         assert_eq!(engine.items_seen(), tangled.len());
+        assert_eq!(engine.active_keys(), tangled.num_keys());
+        assert_eq!(engine.active_keys_high_water(), tangled.num_keys());
         let first = engine.finish();
         let second = engine.finish();
         assert!(second.is_empty(), "finish must not re-emit decisions");

@@ -52,12 +52,20 @@ use crate::model::KvecModel;
 use crate::KvecConfig;
 use kvec_autograd::Var;
 use kvec_data::TangledSequence;
+use kvec_json::Json;
 use kvec_nn::checkpoint::{read_verified, write_atomic, CheckpointError};
 use kvec_nn::loss::{cross_entropy_logits, log_one_minus_sigmoid, log_sigmoid, squared_error};
 use kvec_nn::{clip_global_norm, Adam, AdamState, Optimizer, ParamId, Session};
+use kvec_obs::{self as obs, LazyHistogram, Level};
 use kvec_tensor::{parallel, sigmoid_scalar, KvecRng, Tensor};
 use std::fmt;
 use std::path::Path;
+
+/// Halting positions `n_k` across every trained key (Algorithm 1 line 9);
+/// recorded from worker threads too, hence a lock-free histogram.
+static HALT_STEP_HIST: LazyHistogram = LazyHistogram::new("train.halt_step");
+/// Pre-clip model-group gradient norm of every applied step.
+static GRAD_NORM_HIST: LazyHistogram = LazyHistogram::new("train.grad_norm");
 
 /// Diagnostics of one training step (one tangled scenario).
 #[derive(Debug, Clone, Copy, Default)]
@@ -216,6 +224,59 @@ impl From<CheckpointError> for TrainError {
     }
 }
 
+/// Per-epoch observability accumulators (reset by the epoch drivers;
+/// deliberately not part of checkpoints — they describe one epoch's run,
+/// not the training trajectory).
+#[derive(Debug, Default, Clone, Copy)]
+struct EpochObs {
+    grad_norm_sum: f64,
+    grad_steps: u64,
+    skips: u64,
+    rollbacks: u64,
+}
+
+impl RecoveryEvent {
+    /// Structured fields for the event layer. The `reason` strings are
+    /// stable identifiers, not display text.
+    fn obs_fields(&self) -> Vec<(&'static str, Json)> {
+        match *self {
+            RecoveryEvent::StepSkipped { step, reason } => {
+                let mut fields = vec![
+                    ("action", Json::Str("step_skipped".into())),
+                    ("step", Json::Int(step as i128)),
+                ];
+                match reason {
+                    BadStepReason::NonFiniteLoss => {
+                        fields.push(("reason", Json::Str("non_finite_loss".into())));
+                    }
+                    BadStepReason::NonFiniteGradient => {
+                        fields.push(("reason", Json::Str("non_finite_gradient".into())));
+                    }
+                    BadStepReason::NonFiniteUpdate => {
+                        fields.push(("reason", Json::Str("non_finite_update".into())));
+                    }
+                    BadStepReason::GradientSpike { norm, limit } => {
+                        fields.push(("reason", Json::Str("gradient_spike".into())));
+                        fields.push(("norm", Json::Float(norm as f64)));
+                        fields.push(("limit", Json::Float(limit as f64)));
+                    }
+                }
+                fields
+            }
+            RecoveryEvent::RolledBack {
+                step,
+                restored_step,
+                bad_steps,
+            } => vec![
+                ("action", Json::Str("rolled_back".into())),
+                ("step", Json::Int(step as i128)),
+                ("restored_step", Json::Int(restored_step as i128)),
+                ("bad_steps", Json::Int(bad_steps as i128)),
+            ],
+        }
+    }
+}
+
 /// The last-good-state capture the watchdog rolls back to.
 struct StepSnapshot {
     step: u64,
@@ -248,6 +309,7 @@ pub struct Trainer {
     events: Vec<RecoveryEvent>,
     snapshot: Option<StepSnapshot>,
     injector: Option<FaultInjector>,
+    epoch_obs: EpochObs,
 }
 
 impl Trainer {
@@ -273,7 +335,24 @@ impl Trainer {
             events: Vec::new(),
             snapshot: None,
             injector: None,
+            epoch_obs: EpochObs::default(),
         }
+    }
+
+    /// Buffers a watchdog event for [`Trainer::take_events`] AND forwards
+    /// it to the observability layer as it happens — callers that never
+    /// drain the buffer still leave a record in the trace.
+    fn record_recovery(&mut self, ev: RecoveryEvent) {
+        if obs::event_enabled(Level::Warn) {
+            let mut fields = ev.obs_fields();
+            fields.push(("epoch", Json::Int(self.epochs_done as i128)));
+            obs::event(Level::Warn, "train.watchdog", &fields);
+        }
+        match ev {
+            RecoveryEvent::StepSkipped { .. } => self.epoch_obs.skips += 1,
+            RecoveryEvent::RolledBack { .. } => self.epoch_obs.rollbacks += 1,
+        }
+        self.events.push(ev);
     }
 
     /// Replaces the watchdog thresholds (builder style).
@@ -360,6 +439,7 @@ impl Trainer {
         rng: &mut KvecRng,
     ) -> StepStats {
         assert!(!scenario.is_empty(), "empty scenario");
+        let _span = obs::span_at(Level::Debug, "train.scenario");
         let sess = Session::new();
         let fwd = model.encode_stream(&sess, scenario, Some(rng));
         let label_map = scenario.label_map();
@@ -417,6 +497,7 @@ impl Trainer {
                 }
             }
             halt_fraction_sum += n_k as f32 / item_rows.len() as f32;
+            HALT_STEP_HIST.record(n_k as f64);
 
             // --- classify at the halting position ---
             let class_logits = model
@@ -520,8 +601,7 @@ impl Trainer {
 
         if let Some(reason) = self.diagnose(model, step_loss) {
             model.store.zero_grads();
-            self.events
-                .push(RecoveryEvent::StepSkipped { step, reason });
+            self.record_recovery(RecoveryEvent::StepSkipped { step, reason });
             self.consecutive_bad += 1;
             self.step += 1;
             if self.consecutive_bad >= self.watchdog.max_consecutive_bad {
@@ -541,7 +621,7 @@ impl Trainer {
             // moments / learning rate). The damage is already applied, so
             // restore the last good state immediately rather than waiting
             // out K skips on garbage parameters.
-            self.events.push(RecoveryEvent::StepSkipped {
+            self.record_recovery(RecoveryEvent::StepSkipped {
                 step,
                 reason: BadStepReason::NonFiniteUpdate,
             });
@@ -556,6 +636,19 @@ impl Trainer {
             None => norm,
         });
         self.good_steps += 1;
+        GRAD_NORM_HIST.record(norm as f64);
+        self.epoch_obs.grad_norm_sum += norm as f64;
+        self.epoch_obs.grad_steps += 1;
+        obs::event(
+            Level::Debug,
+            "train.step",
+            &[
+                ("step", Json::Int(step as i128)),
+                ("epoch", Json::Int(self.epochs_done as i128)),
+                ("loss", Json::Float(step_loss as f64)),
+                ("grad_norm", Json::Float(norm as f64)),
+            ],
+        );
         if self.watchdog.snapshot_every > 0
             && self.good_steps.is_multiple_of(self.watchdog.snapshot_every)
         {
@@ -607,15 +700,16 @@ impl Trainer {
             .ok_or(TrainError::NoRollbackTarget { step })?;
         model.store.restore_values(&snap.values);
         model.store.zero_grads();
+        let restored_step = snap.step;
         self.opt_model
             .import_state(snap.opt_model.clone())
             .expect("snapshot always matches its own optimizer");
         self.opt_baseline
             .import_state(snap.opt_baseline.clone())
             .expect("snapshot always matches its own optimizer");
-        self.events.push(RecoveryEvent::RolledBack {
+        self.record_recovery(RecoveryEvent::RolledBack {
             step,
-            restored_step: snap.step,
+            restored_step,
             bad_steps: self.consecutive_bad,
         });
         self.consecutive_bad = 0;
@@ -633,6 +727,8 @@ impl Trainer {
         scenarios: &[TangledSequence],
         rng: &mut KvecRng,
     ) -> Result<EpochStats, TrainError> {
+        let _span = obs::span("train.epoch");
+        self.epoch_obs = EpochObs::default();
         let mut agg = EpochStats::default();
         for scenario in scenarios {
             let s = self.train_scenario(model, scenario, rng)?;
@@ -640,7 +736,38 @@ impl Trainer {
         }
         Self::finish_epoch_stats(&mut agg);
         self.epochs_done += 1;
+        self.emit_epoch_event(&agg);
         Ok(agg)
+    }
+
+    /// The per-epoch Info record: loss/accuracy/earliness plus the mean
+    /// pre-clip gradient norm and the watchdog's intervention counts for
+    /// the epoch that just finished.
+    fn emit_epoch_event(&self, agg: &EpochStats) {
+        if !obs::event_enabled(Level::Info) {
+            return;
+        }
+        let eo = &self.epoch_obs;
+        let mean_norm = if eo.grad_steps > 0 {
+            eo.grad_norm_sum / eo.grad_steps as f64
+        } else {
+            f64::NAN
+        };
+        obs::event(
+            Level::Info,
+            "train.epoch",
+            &[
+                ("epoch", Json::Int(self.epochs_done as i128 - 1)),
+                ("loss", Json::Float(agg.loss as f64)),
+                ("accuracy", Json::Float(agg.accuracy as f64)),
+                ("earliness", Json::Float(agg.earliness as f64)),
+                ("num_keys", Json::Int(agg.num_keys as i128)),
+                ("grad_norm_mean", Json::Float(mean_norm)),
+                ("good_steps", Json::Int(eo.grad_steps as i128)),
+                ("watchdog_skips", Json::Int(eo.skips as i128)),
+                ("watchdog_rollbacks", Json::Int(eo.rollbacks as i128)),
+            ],
+        );
     }
 
     /// Data-parallel epoch: scenarios are processed in groups of up to
@@ -668,6 +795,8 @@ impl Trainer {
         if workers <= 1 {
             return self.train_epoch(model, scenarios, rng);
         }
+        let _span = obs::span("train.epoch");
+        self.epoch_obs = EpochObs::default();
         let ids = model.store.ids();
         let mut agg = EpochStats::default();
         for group in scenarios.chunks(workers) {
@@ -717,6 +846,7 @@ impl Trainer {
         }
         Self::finish_epoch_stats(&mut agg);
         self.epochs_done += 1;
+        self.emit_epoch_event(&agg);
         Ok(agg)
     }
 

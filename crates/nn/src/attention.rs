@@ -16,7 +16,20 @@
 
 use crate::{Dropout, FeedForward, Linear, ParamId, ParamStore, Session};
 use kvec_autograd::Var;
+use kvec_obs::LazyCounter;
 use kvec_tensor::{KvecRng, Tensor};
+
+// Phase timers for the training-path forward pass. The autograd session is
+// eager (every `Var` op computes its value immediately), so wall-clock
+// boundaries between these statements are true phase boundaries.
+static ATTN_FWD_CALLS: LazyCounter = LazyCounter::new("attn.forward.calls");
+static ATTN_PROJECT_NS: LazyCounter = LazyCounter::new("attn.project.ns");
+static ATTN_SCORES_NS: LazyCounter = LazyCounter::new("attn.scores.ns");
+static ATTN_OUTPUT_NS: LazyCounter = LazyCounter::new("attn.output.ns");
+static ATTN_FFN_NS: LazyCounter = LazyCounter::new("attn.ffn.ns");
+// Streaming-inference hot path.
+static ATTN_ROW_CALLS: LazyCounter = LazyCounter::new("attn.attend_row.calls");
+static ATTN_ROW_NS: LazyCounter = LazyCounter::new("attn.attend_row.ns");
 
 /// The attention probabilities of one block application, kept for the
 /// paper's Fig. 10 analysis (internal vs. external attention mass).
@@ -111,14 +124,18 @@ impl AttentionBlock {
         assert_eq!(d, self.d_model, "attention input width mismatch");
         assert_eq!(mask.shape(), (t, t), "mask shape mismatch");
 
+        ATTN_FWD_CALLS.add(1);
+        let t0 = kvec_obs::timer();
         let q = self.wq.forward(sess, store, x);
         let k = self.wk.forward(sess, store, x);
         let v = self.wv.forward(sess, store, x);
+        ATTN_PROJECT_NS.add_elapsed_ns(t0);
 
         let dh = self.d_model / self.n_heads;
         let scale = 1.0 / (dh as f32).sqrt();
         let mut head_outs = Vec::with_capacity(self.n_heads);
         let mut mean_weights: Option<Tensor> = None;
+        let t0 = kvec_obs::timer();
         for h in 0..self.n_heads {
             let (lo, hi) = (h * dh, (h + 1) * dh);
             let (qh, kh, vh) = if self.n_heads == 1 {
@@ -138,6 +155,8 @@ impl AttentionBlock {
             }
             head_outs.push(attn.matmul(vh));
         }
+        ATTN_SCORES_NS.add_elapsed_ns(t0);
+        let t0 = kvec_obs::timer();
         let mut attended = head_outs[0];
         for head in &head_outs[1..] {
             attended = attended.concat_cols(*head);
@@ -145,10 +164,12 @@ impl AttentionBlock {
         if let Some(wo) = &self.wo {
             attended = wo.forward(sess, store, attended);
         }
+        ATTN_OUTPUT_NS.add_elapsed_ns(t0);
         let mut weights = mean_weights.expect("at least one head");
         weights.scale_assign(1.0 / self.n_heads as f32);
         let trace = AttentionTrace { weights };
 
+        let t0 = kvec_obs::timer();
         let mut out = attended;
         if self.use_residual {
             out = out.add(x);
@@ -160,6 +181,7 @@ impl AttentionBlock {
         } else {
             ffn_out
         };
+        ATTN_FFN_NS.add_elapsed_ns(t0);
         (out, trace)
     }
 
@@ -195,6 +217,8 @@ impl AttentionBlock {
             !visible.is_empty(),
             "attend_row needs a non-empty visible set"
         );
+        ATTN_ROW_CALLS.add(1);
+        let t0 = kvec_obs::timer();
         let dh = self.d_model / self.n_heads;
         let scale = 1.0 / (dh as f32).sqrt();
         let q = q_row.data();
@@ -226,6 +250,7 @@ impl AttentionBlock {
             }
         }
         let weights = visible.iter().copied().zip(mean_weights).collect();
+        ATTN_ROW_NS.add_elapsed_ns(t0);
         (out, weights)
     }
 

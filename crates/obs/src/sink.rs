@@ -1,0 +1,59 @@
+//! JSONL line sinks for the global subscriber.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// The installed event destination. Lines are complete JSON objects; the
+/// file sink flushes per line so a crashed process still leaves a valid
+/// (truncated-at-a-line-boundary) JSONL log behind.
+pub(crate) enum Sink {
+    Null,
+    Stderr,
+    File(BufWriter<File>),
+    Memory(Vec<String>),
+}
+
+impl Sink {
+    /// Opens (truncating) a file sink, falling back to stderr with a
+    /// warning when the path cannot be created — observability must never
+    /// take the workload down.
+    pub(crate) fn file(path: PathBuf) -> Sink {
+        match File::create(&path) {
+            Ok(f) => Sink::File(BufWriter::new(f)),
+            Err(e) => {
+                eprintln!(
+                    "kvec-obs: cannot open trace file {}: {e}; falling back to stderr",
+                    path.display()
+                );
+                Sink::Stderr
+            }
+        }
+    }
+
+    pub(crate) fn write_line(&mut self, line: &str) {
+        match self {
+            Sink::Null => {}
+            Sink::Stderr => eprintln!("{line}"),
+            Sink::File(w) => {
+                // A full disk must not panic the traced process.
+                let _ = writeln!(w, "{line}");
+                let _ = w.flush();
+            }
+            Sink::Memory(lines) => lines.push(line.to_string()),
+        }
+    }
+
+    pub(crate) fn flush(&mut self) {
+        if let Sink::File(w) = self {
+            let _ = w.flush();
+        }
+    }
+
+    pub(crate) fn take_lines(&mut self) -> Vec<String> {
+        match self {
+            Sink::Memory(lines) => std::mem::take(lines),
+            _ => Vec::new(),
+        }
+    }
+}

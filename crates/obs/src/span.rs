@@ -1,0 +1,197 @@
+//! RAII timing spans with per-thread nesting, plus the retained-record
+//! store behind the chrome-trace exporter.
+
+use crate::Level;
+use kvec_json::Json;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Retained records are capped so a pathologically chatty run degrades to
+/// a truncated trace (with a drop count) instead of unbounded memory.
+const RETAIN_CAP: usize = 1 << 20;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A small, stable per-thread id (1-based, assigned on first use) — more
+/// readable in traces than the OS thread id.
+pub fn tid() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_TID.fetch_add(1, Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
+
+/// One closed span, as retained for the chrome-trace export.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanRec {
+    pub name: &'static str,
+    pub tid: u64,
+    pub depth: usize,
+    pub start_us: f64,
+    pub dur_us: f64,
+}
+
+/// One gauge sample, retained as a chrome-trace counter track.
+#[derive(Debug, Clone)]
+pub(crate) struct GaugeSample {
+    pub name: &'static str,
+    pub ts_us: f64,
+    pub value: f64,
+}
+
+pub(crate) struct Retained {
+    pub spans: Vec<SpanRec>,
+    pub gauges: Vec<GaugeSample>,
+    pub dropped: u64,
+}
+
+fn retained() -> &'static Mutex<Retained> {
+    static RETAINED: OnceLock<Mutex<Retained>> = OnceLock::new();
+    RETAINED.get_or_init(|| {
+        Mutex::new(Retained {
+            spans: Vec::new(),
+            gauges: Vec::new(),
+            dropped: 0,
+        })
+    })
+}
+
+pub(crate) fn lock_retained() -> MutexGuard<'static, Retained> {
+    retained().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn reset_retained() {
+    let mut r = lock_retained();
+    r.spans.clear();
+    r.gauges.clear();
+    r.dropped = 0;
+}
+
+pub(crate) fn retain_gauge_sample(name: &'static str, value: f64) {
+    let ts_us = crate::ts_us();
+    let mut r = lock_retained();
+    if r.gauges.len() >= RETAIN_CAP {
+        r.dropped += 1;
+        return;
+    }
+    r.gauges.push(GaugeSample { name, ts_us, value });
+}
+
+/// An open timing scope. Created by [`span`] / [`span_at`]; records its
+/// duration when dropped. A span created while its level is filtered out
+/// is a free no-op.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: &'static str,
+    tid: u64,
+    depth: usize,
+    start_us: f64,
+    started: Instant,
+}
+
+/// Opens an `info`-level span. The returned guard must be bound
+/// (`let _span = obs::span("phase");`) — dropping it immediately measures
+/// nothing.
+pub fn span(name: &'static str) -> Span {
+    span_at(Level::Info, name)
+}
+
+/// Opens a span recorded only when `level` passes the current filter.
+pub fn span_at(level: Level, name: &'static str) -> Span {
+    if !crate::event_enabled(level) {
+        return Span { inner: None };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    Span {
+        inner: Some(SpanInner {
+            name,
+            tid: tid(),
+            depth,
+            start_us: crate::ts_us(),
+            started: Instant::now(),
+        }),
+    }
+}
+
+impl Span {
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(s) = self.inner.take() else {
+            return;
+        };
+        let dur_us = s.started.elapsed().as_secs_f64() * 1e6;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let obj = Json::obj([
+            ("ts_us", Json::Float(s.start_us)),
+            ("kind", Json::Str("span".into())),
+            ("name", Json::Str(s.name.into())),
+            ("tid", Json::Int(s.tid as i128)),
+            ("depth", Json::Int(s.depth as i128)),
+            ("dur_us", Json::Float(dur_us)),
+        ]);
+        crate::write_line(&obj.dump());
+        let mut r = lock_retained();
+        if r.spans.len() >= RETAIN_CAP {
+            r.dropped += 1;
+        } else {
+            r.spans.push(SpanRec {
+                name: s.name,
+                tid: s.tid,
+                depth: s.depth,
+                start_us: s.start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_is_stable_per_thread_and_distinct_across_threads() {
+        let here = tid();
+        assert_eq!(tid(), here);
+        let other = std::thread::spawn(tid).join().unwrap();
+        assert_ne!(here, other);
+    }
+
+    #[test]
+    fn filtered_span_is_inert() {
+        // Regardless of global state, a span below the threshold must not
+        // touch the depth counter when it is not recording.
+        let s = Span { inner: None };
+        assert!(!s.is_recording());
+        let before = DEPTH.with(Cell::get);
+        drop(s);
+        assert_eq!(DEPTH.with(Cell::get), before);
+    }
+}

@@ -1,0 +1,273 @@
+//! Integration tests for the observability crate: span nesting and
+//! ordering through the JSONL sink, histogram quantiles against a
+//! sorted-vec oracle, and concurrent recording correctness.
+//!
+//! Every test that reconfigures the global subscriber runs under one
+//! mutex — the subscriber is process-wide by design.
+
+use kvec_json::Json;
+use kvec_obs as obs;
+use obs::{Config, Level, SinkConfig};
+use std::sync::Mutex;
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn memory_subscriber(level: Level) {
+    obs::configure(Config {
+        enabled: true,
+        level,
+        sink: SinkConfig::Memory,
+    });
+    obs::reset();
+}
+
+fn disable() {
+    obs::configure(Config {
+        enabled: false,
+        level: Level::Info,
+        sink: SinkConfig::Null,
+    });
+}
+
+fn parse_lines(lines: &[String]) -> Vec<Json> {
+    lines
+        .iter()
+        .map(|l| Json::parse(l).expect("every emitted line is valid JSON"))
+        .collect()
+}
+
+/// Worker count for the concurrency tests: honors the CI matrix's
+/// `KVEC_THREADS` so the 1-thread and 4-thread legs genuinely differ.
+fn worker_count() -> usize {
+    std::env::var("KVEC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
+#[test]
+fn span_nesting_depth_and_ordering() {
+    let _g = lock();
+    memory_subscriber(Level::Debug);
+    {
+        let _outer = obs::span("outer");
+        {
+            let _inner = obs::span_at(Level::Debug, "inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _second = obs::span("second");
+        }
+    }
+    let lines = parse_lines(&obs::take_lines());
+    disable();
+
+    let spans: Vec<&Json> = lines
+        .iter()
+        .filter(|j| j.get("kind").unwrap().as_str().unwrap() == "span")
+        .collect();
+    assert_eq!(spans.len(), 3);
+    // Spans are written at close: inner, second, then outer.
+    let names: Vec<&str> = spans
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["inner", "second", "outer"]);
+
+    let rec = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str().unwrap() == name)
+            .unwrap()
+    };
+    let f = |s: &Json, k: &str| s.get(k).unwrap().as_f64().unwrap();
+    let (outer, inner, second) = (rec("outer"), rec("inner"), rec("second"));
+    // Nesting depth: children sit one level below the parent.
+    assert_eq!(outer.get("depth").unwrap(), &Json::Int(0));
+    assert_eq!(inner.get("depth").unwrap(), &Json::Int(1));
+    assert_eq!(second.get("depth").unwrap(), &Json::Int(1));
+    // Interval containment: each child's [start, end] lies within the
+    // parent's, and the sequential children do not overlap.
+    for child in [inner, second] {
+        assert!(f(child, "ts_us") >= f(outer, "ts_us"));
+        assert!(
+            f(child, "ts_us") + f(child, "dur_us") <= f(outer, "ts_us") + f(outer, "dur_us") + 1.0
+        );
+    }
+    assert!(f(inner, "ts_us") + f(inner, "dur_us") <= f(second, "ts_us") + 1.0);
+    // The slept span measured at least its sleep.
+    assert!(f(inner, "dur_us") >= 1_000.0);
+}
+
+#[test]
+fn filtered_spans_do_not_disturb_nesting() {
+    let _g = lock();
+    memory_subscriber(Level::Info);
+    {
+        let _outer = obs::span("outer.filtered");
+        // Debug span is below the Info threshold: recorded nowhere, and
+        // the sibling that follows keeps depth 1.
+        let skipped = obs::span_at(Level::Debug, "invisible");
+        assert!(!skipped.is_recording());
+        drop(skipped);
+        let _child = obs::span("child.filtered");
+    }
+    let lines = parse_lines(&obs::take_lines());
+    disable();
+    let names: Vec<&str> = lines
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["child.filtered", "outer.filtered"]);
+    assert_eq!(lines[0].get("depth").unwrap(), &Json::Int(1));
+    assert_eq!(lines[1].get("depth").unwrap(), &Json::Int(0));
+}
+
+#[test]
+fn histogram_quantiles_match_a_sorted_vec_oracle() {
+    let _g = lock();
+    memory_subscriber(Level::Info);
+    let h = obs::metrics::histogram("t.quantile.oracle");
+
+    // A deliberately skewed sample: three decades of magnitudes, dense at
+    // the bottom — the shape kernel timings actually have. Deterministic
+    // LCG so the test never flakes.
+    let mut x = 0x2545f4914f6cdd1du64;
+    let mut values = Vec::with_capacity(5000);
+    for _ in 0..5000 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        values.push(10f64.powf(u * 3.0)); // log-uniform in [1, 1000)
+    }
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+
+    // One bucket spans a factor of 2^(1/SUB_BUCKETS); the estimate (the
+    // bucket's geometric midpoint) is off by at most half a bucket width.
+    let tol = 2f64.powf(1.0 / obs::metrics::SUB_BUCKETS as f64);
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+        let oracle = sorted[(q * (sorted.len() - 1) as f64).floor() as usize];
+        let got = h.quantile(q);
+        assert!(
+            got >= oracle / tol && got <= oracle * tol,
+            "q={q}: histogram {got} vs oracle {oracle} (tolerance x{tol:.4})"
+        );
+    }
+    // Extremes are exact, not bucket-approximated.
+    assert_eq!(h.quantile(0.0), sorted[0]);
+    assert_eq!(h.quantile(1.0), *sorted.last().unwrap());
+    assert_eq!(h.count(), 5000);
+    disable();
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let _g = lock();
+    memory_subscriber(Level::Info);
+    let threads = worker_count();
+    const PER_THREAD: u64 = 20_000;
+
+    let c = obs::metrics::counter("t.conc.counter");
+    let h = obs::metrics::histogram("t.conc.hist");
+    let g = obs::metrics::gauge("t.conc.gauge");
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.add(1);
+                    h.record((i % 100 + 1) as f64);
+                    if i % 1000 == 0 {
+                        g.set((t * 1000 + 1) as f64);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), threads as u64 * PER_THREAD);
+    assert_eq!(h.count(), threads as u64 * PER_THREAD);
+    assert_eq!(h.min(), 1.0);
+    assert_eq!(h.max(), 100.0);
+    // Sum is an exact integer total despite f64 CAS accumulation (all
+    // values are small integers, so FP addition is exact here).
+    let expect: f64 = (threads as u64 * PER_THREAD / 100) as f64 * (1..=100).sum::<u64>() as f64;
+    assert_eq!(h.sum(), expect);
+    assert_eq!(g.high_water(), ((threads - 1) * 1000 + 1) as f64);
+    disable();
+}
+
+#[test]
+fn concurrent_spans_keep_per_thread_depth() {
+    let _g = lock();
+    memory_subscriber(Level::Debug);
+    let threads = worker_count();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..50 {
+                    let _a = obs::span("conc.outer");
+                    let _b = obs::span("conc.inner");
+                }
+            });
+        }
+    });
+    let lines = parse_lines(&obs::take_lines());
+    disable();
+    let spans: Vec<&Json> = lines
+        .iter()
+        .filter(|j| j.get("kind").unwrap().as_str().unwrap() == "span")
+        .collect();
+    assert_eq!(spans.len(), threads * 100);
+    for s in spans {
+        let name = s.get("name").unwrap().as_str().unwrap();
+        let depth = s.get("depth").unwrap();
+        match name {
+            "conc.outer" => assert_eq!(depth, &Json::Int(0)),
+            "conc.inner" => assert_eq!(depth, &Json::Int(1)),
+            other => panic!("unexpected span {other}"),
+        }
+    }
+}
+
+#[test]
+fn gauge_emission_appears_in_jsonl_and_chrome_trace() {
+    let _g = lock();
+    memory_subscriber(Level::Debug);
+    let g = obs::metrics::gauge("t.emit.active_keys");
+    g.set(5.0);
+    g.set(11.0);
+    let lines = parse_lines(&obs::take_lines());
+    let gauges: Vec<&Json> = lines
+        .iter()
+        .filter(|j| j.get("kind").unwrap().as_str().unwrap() == "gauge")
+        .collect();
+    assert_eq!(gauges.len(), 2);
+    assert_eq!(gauges[1].get("value").unwrap().as_f64().unwrap(), 11.0);
+
+    let trace = obs::export::chrome_trace();
+    let text = trace.dump();
+    let parsed = Json::parse(&text).unwrap();
+    let counters: Vec<&Json> = parsed
+        .get("traceEvents")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|e| {
+            e.get("ph")
+                .map(|p| p == &Json::Str("C".into()))
+                .unwrap_or(false)
+                && e.get("name").unwrap().as_str().unwrap() == "t.emit.active_keys"
+        })
+        .collect();
+    assert_eq!(counters.len(), 2);
+    disable();
+}

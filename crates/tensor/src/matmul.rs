@@ -18,6 +18,56 @@
 //! dot sums and is compared with `allclose` instead).
 
 use crate::{parallel, Tensor, TensorError, TensorResult};
+use kvec_obs::{LazyCounter, LazyHistogram};
+
+/// Per-kernel instrumentation: cumulative wall time, call count, and FLOP
+/// count (2·m·k·n multiply-adds per product). All three are lazy handles,
+/// so with observability disabled each kernel call pays one relaxed atomic
+/// load (inside [`kvec_obs::timer`]) and nothing else.
+struct KernelObs {
+    ns: LazyCounter,
+    calls: LazyCounter,
+    flops: LazyCounter,
+}
+
+impl KernelObs {
+    const fn new(ns: &'static str, calls: &'static str, flops: &'static str) -> KernelObs {
+        KernelObs {
+            ns: LazyCounter::new(ns),
+            calls: LazyCounter::new(calls),
+            flops: LazyCounter::new(flops),
+        }
+    }
+
+    #[inline]
+    fn record(&self, started: Option<std::time::Instant>, m: usize, k: usize, n: usize) {
+        if let Some(t0) = started {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.ns.add(ns);
+            self.calls.add(1);
+            self.flops.add(2 * (m * k * n) as u64);
+            MATMUL_NS_HIST.record(ns as f64);
+        }
+    }
+}
+
+static NN_OBS: KernelObs = KernelObs::new(
+    "kernel.matmul_nn.ns",
+    "kernel.matmul_nn.calls",
+    "kernel.matmul_nn.flops",
+);
+static TN_OBS: KernelObs = KernelObs::new(
+    "kernel.matmul_tn.ns",
+    "kernel.matmul_tn.calls",
+    "kernel.matmul_tn.flops",
+);
+static NT_OBS: KernelObs = KernelObs::new(
+    "kernel.matmul_nt.ns",
+    "kernel.matmul_nt.calls",
+    "kernel.matmul_nt.flops",
+);
+/// Per-call latency distribution across all three layouts.
+static MATMUL_NS_HIST: LazyHistogram = LazyHistogram::new("kernel.matmul.ns");
 
 /// Rows per register tile.
 const MR: usize = 4;
@@ -247,12 +297,14 @@ impl Tensor {
         }
         let (m, k) = self.shape();
         let n = other.cols();
+        let t0 = kvec_obs::timer();
         let mut out = Tensor::zeros(m, n);
         let threads = plan_threads(m, k, n);
         let (a, b) = (self.data(), other.data());
         parallel::par_row_blocks(out.data_mut(), m, n, threads, |i0, rows, block| {
             nn_block(a, b, k, n, i0, rows, block)
         });
+        NN_OBS.record(t0, m, k, n);
         Ok(out)
     }
 
@@ -273,12 +325,14 @@ impl Tensor {
         }
         let (k, m) = self.shape();
         let n = other.cols();
+        let t0 = kvec_obs::timer();
         let mut out = Tensor::zeros(m, n);
         let threads = plan_threads(m, k, n);
         let (a, b) = (self.data(), other.data());
         parallel::par_row_blocks(out.data_mut(), m, n, threads, |i0, rows, block| {
             tn_block(a, b, k, m, n, i0, rows, block)
         });
+        TN_OBS.record(t0, m, k, n);
         Ok(out)
     }
 
@@ -295,12 +349,14 @@ impl Tensor {
         let m = self.rows();
         let k = self.cols();
         let n = other.rows();
+        let t0 = kvec_obs::timer();
         let mut out = Tensor::zeros(m, n);
         let threads = plan_threads(m, k, n);
         let (a, b) = (self.data(), other.data());
         parallel::par_row_blocks(out.data_mut(), m, n, threads, |i0, rows, block| {
             nt_block(a, b, k, n, i0, rows, block)
         });
+        NT_OBS.record(t0, m, k, n);
         Ok(out)
     }
 

@@ -2,11 +2,21 @@
 //! few epochs, and evaluate early-classification quality.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! To watch the run through the observability layer (structured JSONL
+//! trace, metrics summary, `chrome://tracing` profile):
+//!
+//! ```text
+//! KVEC_LOG=debug KVEC_TRACE_FILE=run.jsonl \
+//!   KVEC_METRICS_FILE=metrics.json KVEC_CHROME_TRACE=run.trace \
+//!   cargo run --release --example quickstart
+//! ```
 
 use kvec::train::Trainer;
-use kvec::{evaluate, KvecConfig, KvecModel};
+use kvec::{evaluate, KvecConfig, KvecModel, StreamingEngine};
 use kvec_data::synth::{generate_traffic, TrafficConfig};
 use kvec_data::Dataset;
+use kvec_obs as obs;
 use kvec_tensor::KvecRng;
 
 fn main() {
@@ -71,4 +81,30 @@ fn main() {
     );
     println!("macro F1      : {:.3}", report.f1);
     println!("harmonic mean : {:.3}", report.hm);
+
+    // 5. Replay one held-out scenario through the incremental streaming
+    //    engine — the deployment path (and the source of the
+    //    `stream.active_keys` gauge in traces).
+    let scenario = &ds.test[0];
+    let mut engine = StreamingEngine::new(&model);
+    let mut decided = 0usize;
+    for item in &scenario.items {
+        if engine
+            .feed(item)
+            .expect("fresh engine cannot fault")
+            .is_some()
+        {
+            decided += 1;
+        }
+    }
+    decided += engine.finish().len();
+    println!(
+        "streaming     : {decided} decisions over {} items ({} keys live at peak)",
+        scenario.len(),
+        engine.active_keys_high_water()
+    );
+
+    // Flush the observability layer: emits the metrics summary into the
+    // JSONL trace and writes KVEC_METRICS_FILE / KVEC_CHROME_TRACE if set.
+    obs::finish();
 }

@@ -1,0 +1,209 @@
+//! Validates the artifacts of a traced run (CI gate for the
+//! observability layer).
+//!
+//! ```text
+//! validate_trace <run.jsonl> [<run.trace> [<metrics.json>]]
+//! ```
+//!
+//! Every file must round-trip through `kvec-json`, and the JSONL log must
+//! carry the records the observability layer promises for a training +
+//! streaming run: per-epoch loss and gradient norm, the halt-step
+//! histogram, the streaming active-key gauge, and per-phase kernel
+//! timings. Watchdog events are validated structurally when present (a
+//! healthy run has none). Exits non-zero with a message on the first
+//! failure.
+
+use kvec_json::Json;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("validate_trace: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+/// The summary object checks shared by the `metrics.summary` JSONL event
+/// and the standalone `KVEC_METRICS_FILE` export.
+fn check_summary(summary: &Json, what: &str) -> Result<(), String> {
+    let hist = summary
+        .get("histograms")
+        .and_then(|h| h.get("train.halt_step"))
+        .map_err(|_| format!("{what}: no train.halt_step histogram"))?;
+    let count = hist
+        .get("count")
+        .and_then(|c| c.as_f64())
+        .map_err(|_| format!("{what}: train.halt_step has no count"))?;
+    if count < 1.0 {
+        return Err(format!("{what}: train.halt_step histogram is empty"));
+    }
+    let counters = summary
+        .get("counters")
+        .and_then(|c| c.as_obj())
+        .map_err(|_| format!("{what}: no counters object"))?;
+    if !counters.iter().any(|(k, _)| k.starts_with("kernel.matmul")) {
+        return Err(format!("{what}: no kernel.matmul timing counters"));
+    }
+    if summary
+        .get("gauges")
+        .and_then(|g| g.get("stream.active_keys"))
+        .is_err()
+    {
+        return Err(format!("{what}: no stream.active_keys gauge"));
+    }
+    Ok(())
+}
+
+fn check_jsonl(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut epochs = 0usize;
+    let mut spans = 0usize;
+    let mut summary_ok = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Json::parse(line).map_err(|e| format!("{path}:{}: invalid JSON: {e}", i + 1))?;
+        let kind = rec
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .map_err(|_| format!("{path}:{}: record has no kind", i + 1))?
+            .to_string();
+        match kind.as_str() {
+            "span" => {
+                spans += 1;
+                if rec.get("dur_us").and_then(|d| d.as_f64()).is_err() {
+                    return Err(format!("{path}:{}: span without dur_us", i + 1));
+                }
+            }
+            "event" => {
+                let name = rec
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .map_err(|_| format!("{path}:{}: event without name", i + 1))?
+                    .to_string();
+                let fields = rec
+                    .get("fields")
+                    .map_err(|_| format!("{path}:{}: event without fields", i + 1))?;
+                match name.as_str() {
+                    "train.epoch" => {
+                        epochs += 1;
+                        for key in ["loss", "grad_norm_mean", "epoch"] {
+                            if fields.get(key).is_err() {
+                                return Err(format!("{path}:{}: train.epoch missing {key}", i + 1));
+                            }
+                        }
+                    }
+                    "train.watchdog" => {
+                        for key in ["action", "step", "epoch"] {
+                            if fields.get(key).is_err() {
+                                return Err(format!(
+                                    "{path}:{}: train.watchdog missing {key}",
+                                    i + 1
+                                ));
+                            }
+                        }
+                    }
+                    "metrics.summary" => {
+                        let summary = fields
+                            .get("summary")
+                            .map_err(|_| format!("{path}:{}: summary event empty", i + 1))?;
+                        check_summary(summary, path)?;
+                        summary_ok = true;
+                    }
+                    _ => {}
+                }
+            }
+            "gauge" => {}
+            other => return Err(format!("{path}:{}: unknown kind {other}", i + 1)),
+        }
+    }
+    if epochs == 0 {
+        return Err(format!("{path}: no train.epoch events"));
+    }
+    if spans == 0 {
+        return Err(format!("{path}: no spans"));
+    }
+    if !summary_ok {
+        return Err(format!(
+            "{path}: no metrics.summary event (obs::finish not called?)"
+        ));
+    }
+    println!("{path}: OK ({epochs} epochs, {spans} spans)");
+    Ok(())
+}
+
+fn check_chrome(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .map_err(|_| format!("{path}: no traceEvents array"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: traceEvents is empty"));
+    }
+    let mut complete = 0usize;
+    let mut counters = 0usize;
+    let mut saw_active_keys = false;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .map_err(|_| format!("{path}: event {i} has no ph"))?;
+        match ph {
+            "X" => {
+                complete += 1;
+                for key in ["name", "ts", "dur", "pid", "tid"] {
+                    if ev.get(key).is_err() {
+                        return Err(format!("{path}: X event {i} missing {key}"));
+                    }
+                }
+            }
+            "C" => {
+                counters += 1;
+                if ev.get("name").and_then(|n| n.as_str()).ok() == Some("stream.active_keys") {
+                    saw_active_keys = true;
+                }
+            }
+            "M" => {}
+            other => return Err(format!("{path}: event {i} has unknown ph {other}")),
+        }
+    }
+    if complete == 0 {
+        return Err(format!("{path}: no complete (X) span events"));
+    }
+    if !saw_active_keys {
+        return Err(format!("{path}: no stream.active_keys counter track"));
+    }
+    println!("{path}: OK ({complete} spans, {counters} counter samples)");
+    Ok(())
+}
+
+fn check_metrics(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    check_summary(&doc, path)?;
+    println!("{path}: OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 3 {
+        eprintln!("usage: validate_trace <run.jsonl> [<run.trace> [<metrics.json>]]");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = check_jsonl(&args[0]) {
+        return fail(&e);
+    }
+    if let Some(trace) = args.get(1) {
+        if let Err(e) = check_chrome(trace) {
+            return fail(&e);
+        }
+    }
+    if let Some(metrics) = args.get(2) {
+        if let Err(e) = check_metrics(metrics) {
+            return fail(&e);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -10,5 +10,7 @@ pub use kvec;
 pub use kvec_autograd as autograd;
 pub use kvec_baselines as baselines;
 pub use kvec_data as data;
+pub use kvec_json as json;
 pub use kvec_nn as nn;
+pub use kvec_obs as obs;
 pub use kvec_tensor as tensor;

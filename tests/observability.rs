@@ -1,0 +1,243 @@
+//! End-to-end contract of the observability layer: a traced training +
+//! streaming run must emit the structured records the ISSUE promises —
+//! per-epoch loss and gradient norm, per-step records, watchdog events
+//! (forced here via the fault injector), the streaming active-key gauge —
+//! and the aggregate exports (metrics summary, chrome trace) must
+//! round-trip through `kvec-json`.
+//!
+//! The subscriber is process-global, so every test takes a shared lock
+//! and installs a fresh `Memory` sink.
+
+use kvec::faults::FaultInjector;
+use kvec::train::Trainer;
+use kvec::{KvecConfig, KvecModel, StreamingEngine};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::Dataset;
+use kvec_json::Json;
+use kvec_obs::{self as obs, Config, Level, SinkConfig};
+use kvec_tensor::KvecRng;
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn dataset() -> Dataset {
+    let mut rng = KvecRng::seed_from_u64(11);
+    let cfg = TrafficConfig {
+        num_flows: 16,
+        num_classes: 2,
+        mean_len: 10,
+        min_len: 8,
+        max_len: 14,
+        ..TrafficConfig::traffic_app(0)
+    };
+    let pool = generate_traffic(&cfg, &mut rng);
+    Dataset::from_pool("obs", cfg.schema(), 2, pool, 4, &mut rng)
+}
+
+/// Runs two training epochs (with NaN gradients injected at step 1, so
+/// the watchdog fires) and a streaming replay of one scenario, all under
+/// a Memory sink at Debug level. Returns the captured JSONL lines.
+fn traced_run() -> Vec<String> {
+    obs::configure(Config {
+        enabled: true,
+        level: Level::Debug,
+        sink: SinkConfig::Memory,
+    });
+    obs::reset();
+
+    let ds = dataset();
+    let cfg = KvecConfig::tiny(&ds.schema, ds.num_classes);
+    let mut rng = KvecRng::seed_from_u64(5);
+    let mut model = KvecModel::new(&cfg, &mut rng);
+    let mut trainer = Trainer::new(&cfg, &model);
+    trainer.set_fault_injector(FaultInjector::new(0).poison_grads_at([1]));
+    for _ in 0..2 {
+        trainer
+            .train_epoch(&mut model, &ds.train, &mut rng)
+            .expect("training must survive a poisoned step");
+    }
+    assert!(
+        !trainer.events().is_empty(),
+        "poisoned gradients must produce recovery events"
+    );
+
+    let mut engine = StreamingEngine::new(&model);
+    for item in &ds.train[0].items {
+        engine.feed(item).expect("feed");
+    }
+    engine.finish();
+    assert!(engine.active_keys_high_water() > 0);
+
+    obs::finish();
+    let lines = obs::take_lines();
+    obs::configure(Config {
+        enabled: false,
+        level: Level::Info,
+        sink: SinkConfig::Null,
+    });
+    lines
+}
+
+/// Events of a given name, as parsed `fields` objects.
+fn events_named(records: &[Json], name: &str) -> Vec<Json> {
+    records
+        .iter()
+        .filter(|r| {
+            r.get("kind").and_then(|k| k.as_str()).ok() == Some("event")
+                && r.get("name").and_then(|n| n.as_str()).ok() == Some(name)
+        })
+        .map(|r| r.get("fields").unwrap().clone())
+        .collect()
+}
+
+#[test]
+fn traced_run_emits_the_promised_records() {
+    let _g = lock();
+    let lines = traced_run();
+    assert!(!lines.is_empty());
+    let records: Vec<Json> = lines
+        .iter()
+        .map(|l| Json::parse(l).expect("every JSONL line parses"))
+        .collect();
+
+    // Every record carries the common envelope.
+    for r in &records {
+        let kind = r.get("kind").and_then(|k| k.as_str()).unwrap();
+        assert!(
+            matches!(kind, "span" | "event" | "gauge"),
+            "unknown kind {kind}"
+        );
+        assert!(r.get("ts_us").and_then(|t| t.as_f64()).unwrap() >= 0.0);
+    }
+
+    // Per-epoch milestones with loss + gradient norm.
+    let epochs = events_named(&records, "train.epoch");
+    assert_eq!(epochs.len(), 2, "one train.epoch event per epoch");
+    for (i, f) in epochs.iter().enumerate() {
+        assert_eq!(f.get("epoch").unwrap(), &Json::Int(i as i128));
+        assert!(f.get("loss").and_then(|v| v.as_f64()).unwrap().is_finite());
+        assert!(f.get("grad_norm_mean").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+        assert!(f.get("good_steps").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+    }
+
+    // Per-step debug records.
+    let steps = events_named(&records, "train.step");
+    assert!(
+        steps.len() >= 2,
+        "expected per-step events, got {}",
+        steps.len()
+    );
+    for f in &steps {
+        assert!(f.get("loss").and_then(|v| v.as_f64()).unwrap().is_finite());
+        assert!(f.get("grad_norm").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+    }
+
+    // The injected NaN step surfaces as a warn-level watchdog event.
+    let watchdogs = events_named(&records, "train.watchdog");
+    assert!(
+        !watchdogs.is_empty(),
+        "poisoned step must emit train.watchdog"
+    );
+    assert!(watchdogs.iter().any(|f| {
+        f.get("action").and_then(|a| a.as_str()).ok() == Some("step_skipped")
+            && f.get("reason").and_then(|r| r.as_str()).ok() == Some("non_finite_gradient")
+    }));
+    for f in &watchdogs {
+        assert!(f.get("step").is_ok() && f.get("epoch").is_ok());
+    }
+
+    // Spans: the epoch scope must appear, with plausible nesting depth.
+    let epoch_spans: Vec<&Json> = records
+        .iter()
+        .filter(|r| {
+            r.get("kind").and_then(|k| k.as_str()).ok() == Some("span")
+                && r.get("name").and_then(|n| n.as_str()).ok() == Some("train.epoch")
+        })
+        .collect();
+    assert_eq!(epoch_spans.len(), 2);
+    for s in &epoch_spans {
+        assert_eq!(s.get("depth").unwrap(), &Json::Int(0));
+        assert!(s.get("dur_us").and_then(|d| d.as_f64()).unwrap() > 0.0);
+    }
+
+    // Streaming: the active-key gauge is sampled as items arrive, and
+    // per-decision events appear at debug level.
+    let gauges: Vec<&Json> = records
+        .iter()
+        .filter(|r| {
+            r.get("kind").and_then(|k| k.as_str()).ok() == Some("gauge")
+                && r.get("name").and_then(|n| n.as_str()).ok() == Some("stream.active_keys")
+        })
+        .collect();
+    assert!(
+        !gauges.is_empty(),
+        "streaming must sample stream.active_keys"
+    );
+    assert!(gauges
+        .iter()
+        .all(|g| g.get("value").and_then(|v| v.as_f64()).unwrap() >= 0.0));
+    assert!(!events_named(&records, "stream.decision").is_empty());
+}
+
+#[test]
+fn summary_and_chrome_trace_round_trip_through_kvec_json() {
+    let _g = lock();
+    let lines = traced_run();
+    let records: Vec<Json> = lines.iter().map(|l| Json::parse(l).unwrap()).collect();
+
+    // The final metrics.summary event carries the aggregates.
+    let summaries = events_named(&records, "metrics.summary");
+    assert_eq!(summaries.len(), 1, "obs::finish emits exactly one summary");
+    let summary = summaries[0].get("summary").unwrap();
+
+    // Round-trip: dump + reparse must preserve the object.
+    let reparsed = Json::parse(&summary.dump()).expect("summary re-parses");
+    assert_eq!(&reparsed, summary);
+
+    // Halt-step histogram aggregated over every scenario of both epochs.
+    let halt = reparsed
+        .get("histograms")
+        .and_then(|h| h.get("train.halt_step"))
+        .expect("train.halt_step histogram present");
+    assert!(halt.get("count").and_then(|c| c.as_f64()).unwrap() >= 2.0);
+    assert!(halt.get("p50").and_then(|p| p.as_f64()).unwrap() >= 1.0);
+
+    // Kernel timing counters from the matmul hot path.
+    let counters = reparsed.get("counters").and_then(|c| c.as_obj()).unwrap();
+    let matmul_calls: f64 = counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("kernel.matmul") && k.ends_with(".calls"))
+        .map(|(_, v)| v.as_f64().unwrap())
+        .sum();
+    assert!(
+        matmul_calls >= 1.0,
+        "training must hit instrumented matmuls"
+    );
+
+    // Streaming gauge present with its high-water mark.
+    let gauge = reparsed
+        .get("gauges")
+        .and_then(|g| g.get("stream.active_keys"))
+        .expect("stream.active_keys gauge present");
+    assert!(gauge.get("high_water").and_then(|m| m.as_f64()).unwrap() >= 1.0);
+
+    // Chrome trace export: metadata first, then complete spans and the
+    // counter track; the whole document survives a dump/parse cycle.
+    let trace = kvec_obs::export::chrome_trace();
+    let reparsed = Json::parse(&trace.dump()).expect("chrome trace re-parses");
+    assert_eq!(&reparsed, &trace);
+    let events = reparsed
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .unwrap();
+    assert!(!events.is_empty());
+    let ph = |e: &Json| e.get("ph").and_then(|p| p.as_str()).unwrap().to_string();
+    assert_eq!(ph(&events[0]), "M", "metadata records lead the trace");
+    assert!(events.iter().any(|e| ph(e) == "X"));
+    assert!(events.iter().any(|e| {
+        ph(e) == "C" && e.get("name").and_then(|n| n.as_str()).ok() == Some("stream.active_keys")
+    }));
+}
