@@ -1,7 +1,9 @@
 //! Regenerates `BENCH_parallel.json`: the serial-vs-parallel performance
 //! trajectory of the compute backend — matmul GFLOP/s (naive reference vs
-//! register-tiled kernel), attention step latency, and epoch wall-clock,
-//! each at 1/2/4/8 threads.
+//! the blocked kernels, one sweep per kernel path: scalar and, where the
+//! host supports them, AVX2+FMA and AVX-512), attention step latency, and epoch
+//! wall-clock, each at 1/2/4/8 threads. The host block records the
+//! detected CPU features and the active kernel path.
 //!
 //! Timings are best-of-N (minimum over repetitions), the standard way to
 //! suppress scheduler noise for short kernels. Run with `--release`:
@@ -17,7 +19,7 @@ use kvec_data::synth::{generate_traffic, TrafficConfig};
 use kvec_data::Dataset;
 use kvec_json::{Json, ToJson};
 use kvec_nn::{causal_mask, AttentionBlock, ParamStore, Session};
-use kvec_tensor::{parallel, KvecRng, Tensor};
+use kvec_tensor::{parallel, simd, KvecRng, SimdMode, Tensor};
 use std::hint::black_box;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -40,6 +42,20 @@ fn stats_ms_json(s: &Stats) -> Json {
     ])
 }
 
+/// The kernel paths runnable on this host: scalar always, AVX2 and
+/// AVX-512 when supported — each sweep row carries its path so the
+/// scalar-vs-SIMD speedup is auditable from the checked-in report.
+fn bench_modes() -> Vec<(SimdMode, &'static str)> {
+    let mut modes = vec![(SimdMode::Scalar, "scalar")];
+    if simd::avx2_supported() {
+        modes.push((SimdMode::Avx2, "avx2"));
+    }
+    if simd::avx512_supported() {
+        modes.push((SimdMode::Avx512, "avx512"));
+    }
+    modes
+}
+
 fn matmul_sweep() -> Json {
     let mut out = Vec::new();
     for n in [128usize, 256, 512] {
@@ -51,22 +67,25 @@ fn matmul_sweep() -> Json {
             black_box(a.matmul_reference(&b).unwrap());
         });
         let ref_ms = ref_stats.min_ns / 1e6;
-        let blocked: Vec<Json> = THREADS
-            .iter()
-            .map(|&t| {
-                let stats = stats_direct(reps, || {
-                    parallel::with_threads(t, || black_box(a.matmul(&b)));
+        let mut blocked = Vec::new();
+        for (mode, path) in bench_modes() {
+            for &t in &THREADS {
+                let stats = simd::with_simd(mode, || {
+                    stats_direct(reps, || {
+                        parallel::with_threads(t, || black_box(a.matmul(&b)));
+                    })
                 });
                 let ms = stats.min_ns / 1e6;
-                Json::obj([
+                blocked.push(Json::obj([
+                    ("path", path.to_json()),
                     ("threads", t.to_json()),
                     ("ms", ms.to_json()),
                     ("stats", stats_ms_json(&stats)),
                     ("gflops", gflops(n, n, n, ms).to_json()),
                     ("speedup_vs_reference", (ref_ms / ms).to_json()),
-                ])
-            })
-            .collect();
+                ]));
+            }
+        }
         eprintln!("matmul {n}^3: reference {ref_ms:.3} ms");
         out.push(Json::obj([
             ("shape", vec![n, n, n].to_json()),
@@ -175,6 +194,7 @@ fn epoch_sweep() -> Json {
 }
 
 fn main() {
+    let features = simd::cpu_features();
     let report = Json::obj([
         (
             "generated_by",
@@ -190,6 +210,16 @@ fn main() {
                     parallel::hardware_threads().to_json(),
                 ),
                 ("kvec_threads", parallel::num_threads().to_json()),
+                ("kvec_simd", simd::simd_mode().name().to_json()),
+                ("kernel_path", simd::active_path().name().to_json()),
+                (
+                    "cpu_features",
+                    Json::obj([
+                        ("avx2", features.avx2.to_json()),
+                        ("fma", features.fma.to_json()),
+                        ("avx512f", features.avx512f.to_json()),
+                    ]),
+                ),
             ]),
         ),
         ("matmul", matmul_sweep()),

@@ -106,6 +106,34 @@ impl Gen {
     }
 }
 
+/// Distance between two `f32`s in units-in-the-last-place: the number of
+/// representable floats strictly between them (plus one when unequal),
+/// computed on the monotonic integer mapping of the IEEE-754 bit patterns.
+/// `-0.0` and `+0.0` map to the same point (distance 0); NaN against
+/// anything is `u64::MAX`.
+///
+/// Used by the SIMD-vs-scalar kernel property suites, where FMA
+/// legitimately changes rounding and the contract is "within a few ULP",
+/// not bit equality. Near-cancellation outputs can be many ULP apart while
+/// being absolutely tiny, so callers should pair this with an absolute
+/// bound derived from the input magnitudes.
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Map the sign-magnitude bit pattern onto a monotone integer line:
+    // negatives fold below zero, so the distance across 0.0 is exact.
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        if bits < 0 {
+            i32::MIN.wrapping_sub(bits) as i64
+        } else {
+            bits as i64
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
 fn base_seed() -> u64 {
     match std::env::var("KVEC_CHECK_SEED") {
         Ok(s) => parse_seed(&s).unwrap_or_else(|| panic!("unparseable KVEC_CHECK_SEED `{s}`")),
@@ -213,6 +241,26 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap();
         assert!(msg.contains("boom-payload"));
+    }
+
+    #[test]
+    fn ulp_distance_counts_representable_steps() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(
+            ulp_distance(-1.0, f32::from_bits((-1.0f32).to_bits() + 1)),
+            1
+        );
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        // Smallest positive and negative subnormals straddle zero: one
+        // step down to 0.0 plus one step up.
+        assert_eq!(ulp_distance(f32::from_bits(1), -f32::from_bits(1)), 2);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(1.0, f32::NAN), u64::MAX);
+        // Monotone: a two-step gap is twice a one-step gap.
+        let x = 3.5f32;
+        let up2 = f32::from_bits(x.to_bits() + 2);
+        assert_eq!(ulp_distance(x, up2), 2);
     }
 
     #[test]

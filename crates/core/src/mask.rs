@@ -313,6 +313,61 @@ mod tests {
     }
 
     #[test]
+    fn key_and_value_edges_never_overlap() {
+        // Audit for the streaming engine's `visible` list, which merges
+        // `key_edges` and `value_edges` and sorts WITHOUT deduplicating:
+        // an index reachable by both edge types would then be attended
+        // twice, silently doubling its softmax weight. The builder makes
+        // overlap impossible — value edges only ever reference *other*
+        // keys' items (`push` skips the arriving key in the value loop)
+        // while key edges only reference the same key's items — and this
+        // test pins that invariant on an adversarial stream where every
+        // key shares one session code, so trailing sessions match
+        // constantly and value edges are as dense as they can get.
+        let mut builder = MaskBuilder::new(true, true);
+        // 3 keys interleaved, all items session code 0, then a code flip
+        // and back, exercising trailing-session resets too.
+        let stream: Vec<(u64, u32)> = vec![
+            (1, 0),
+            (2, 0),
+            (1, 0),
+            (3, 0),
+            (2, 0),
+            (1, 1),
+            (3, 0),
+            (1, 0),
+            (2, 0),
+        ];
+        for (i, &(key, code)) in stream.iter().enumerate() {
+            let edges = builder.push(Key(key), code);
+
+            // Exactly the merge `StreamingEngine::feed` performs.
+            let mut visible: Vec<usize> =
+                Vec::with_capacity(edges.key_edges.len() + edges.value_edges.len() + 1);
+            visible.extend_from_slice(&edges.key_edges);
+            visible.extend_from_slice(&edges.value_edges);
+            visible.push(i);
+            visible.sort_unstable();
+
+            // Strictly increasing == no index attended twice.
+            assert!(
+                visible.windows(2).all(|w| w[0] < w[1]),
+                "item {i}: duplicate index in visible list {visible:?}"
+            );
+            for j in &edges.key_edges {
+                assert!(
+                    !edges.value_edges.contains(j),
+                    "item {i}: index {j} reachable by both edge types"
+                );
+            }
+        }
+        // Sanity: the stream actually produced both edge types.
+        let kinds = builder.edge_kinds();
+        assert!(kinds.contains(&EdgeKind::Key));
+        assert!(kinds.contains(&EdgeKind::Value));
+    }
+
+    #[test]
     fn split_attention_row_partitions_mass() {
         let dm = build_mask(&sample(), 0, true, true);
         // Fake uniform attention over visible items of row 2 (self + two

@@ -191,6 +191,15 @@ impl<'m> StreamingEngine<'m> {
         visible.extend_from_slice(&edges.value_edges);
         visible.push(global_pos);
         visible.sort_unstable();
+        // No dedup needed: key edges reference this key's items, value
+        // edges only other keys' items (MaskBuilder::push skips the
+        // arriving key), so the merged list is duplicate-free — an index
+        // attended twice would double its softmax weight. Pinned by
+        // `mask::tests::key_and_value_edges_never_overlap`.
+        debug_assert!(
+            visible.windows(2).all(|w| w[0] < w[1]),
+            "visible list has duplicates: {visible:?}"
+        );
 
         // Per-key bookkeeping (position within the key's sequence).
         let pos_in_key = edges.key_edges.len();

@@ -17,7 +17,7 @@
 use crate::{Dropout, FeedForward, Linear, ParamId, ParamStore, Session};
 use kvec_autograd::Var;
 use kvec_obs::LazyCounter;
-use kvec_tensor::{KvecRng, Tensor};
+use kvec_tensor::{simd, KvecRng, Tensor};
 
 // Phase timers for the training-path forward pass. The autograd session is
 // eager (every `Var` op computes its value immediately), so wall-clock
@@ -224,14 +224,15 @@ impl AttentionBlock {
         let q = q_row.data();
         let mut out = Tensor::zeros(1, self.d_model);
         let mut mean_weights = vec![0.0f32; visible.len()];
+        // Head-dim dots and weighted accumulation go through the SIMD
+        // backend; the path is resolved once per call, not per visible
+        // index (the scalar arm reproduces the historical loops bitwise).
+        let path = simd::active_path();
         for h in 0..self.n_heads {
             let (lo, hi) = (h * dh, (h + 1) * dh);
             let mut logits: Vec<f32> = visible
                 .iter()
-                .map(|&j| {
-                    let k = &keys.row(j)[lo..hi];
-                    q[lo..hi].iter().zip(k).map(|(a, b)| a * b).sum::<f32>() * scale
-                })
+                .map(|&j| simd::dot_on(path, &q[lo..hi], &keys.row(j)[lo..hi]) * scale)
                 .collect();
             let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
@@ -243,10 +244,7 @@ impl AttentionBlock {
             for ((&j, w), mw) in visible.iter().zip(&logits).zip(&mut mean_weights) {
                 let w = w * inv;
                 *mw += w / self.n_heads as f32;
-                let v = &values.row(j)[lo..hi];
-                for (o, &x) in out.data_mut()[lo..hi].iter_mut().zip(v) {
-                    *o += w * x;
-                }
+                simd::axpy_on(path, &mut out.data_mut()[lo..hi], w, &values.row(j)[lo..hi]);
             }
         }
         let weights = visible.iter().copied().zip(mean_weights).collect();

@@ -16,7 +16,11 @@
 //!   shape mismatch is a programming error;
 //! - large kernels (matmul family, row softmax) fan out across threads via
 //!   [`parallel`] (`KVEC_THREADS`); results are bit-identical for every
-//!   thread count because work splits over disjoint output rows.
+//!   thread count because work splits over disjoint output rows;
+//! - the matmul family additionally dispatches to AVX-512 / AVX2+FMA
+//!   kernels via [`simd`] (`KVEC_SIMD`) when the host supports them; each
+//!   kernel path is individually deterministic, and the paths agree to
+//!   tight ULP tolerance (FMA legitimately rounds differently).
 
 mod error;
 mod init;
@@ -25,12 +29,14 @@ mod ops;
 pub mod parallel;
 mod reduce;
 mod rng;
+pub mod simd;
 mod softmax;
 mod tensor;
 
 pub use error::{TensorError, TensorResult};
 pub use parallel::{num_threads, set_num_threads};
 pub use rng::KvecRng;
+pub use simd::{set_simd_mode, simd_mode, with_simd, KernelPath, SimdMode};
 pub use softmax::sigmoid_scalar;
 pub use tensor::Tensor;
 

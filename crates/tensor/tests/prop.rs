@@ -1,8 +1,8 @@
 //! Property-based tests of the tensor kernels (ported from proptest to the
 //! in-tree `kvec-check` harness).
 
-use kvec_check::{check, check_n, Gen};
-use kvec_tensor::{parallel, Axis, KvecRng, Tensor};
+use kvec_check::{check, check_n, ulp_distance, Gen};
+use kvec_tensor::{parallel, simd, Axis, KvecRng, SimdMode, Tensor};
 
 fn gen_tensor(g: &mut Gen, max_dim: usize) -> Tensor {
     let r = g.usize_in(1, max_dim + 1);
@@ -180,7 +180,10 @@ fn json_round_trip_preserves_tensor() {
 
 // Larger-shape properties of the register-tiled parallel kernels. Shapes go
 // up to 512x512 outputs, so the operands are filled from a seeded KvecRng
-// and the case count is kept small.
+// and the case count is kept small. Pinned to the scalar path: these are
+// bit-identity assertions against the reference accumulation order, which
+// the SIMD paths legitimately break (FMA); see the ULP suites below for
+// the cross-path contract.
 #[test]
 fn parallel_kernels_match_serial_reference() {
     check_n("parallel_kernels_match_serial_reference", 8, |g| {
@@ -193,23 +196,193 @@ fn parallel_kernels_match_serial_reference() {
         let b = Tensor::rand_uniform(k, n, -1.0, 1.0, &mut rng);
         let reference = a.matmul_reference(&b).unwrap();
 
-        // Single-thread dispatch is bit-identical to the pre-parallel
-        // serial kernel (same per-element accumulation order).
-        let serial = parallel::with_threads(1, || a.matmul(&b));
-        assert_eq!(serial.data(), reference.data());
+        simd::with_simd(SimdMode::Scalar, || {
+            // Single-thread dispatch is bit-identical to the pre-parallel
+            // serial kernel (same per-element accumulation order).
+            let serial = parallel::with_threads(1, || a.matmul(&b));
+            assert_eq!(serial.data(), reference.data());
 
-        // Multi-thread dispatch: nn/tn stay bitwise (the row split never
-        // crosses an output row), nt reorders its dot sums.
-        let par = parallel::with_threads(threads, || a.matmul(&b));
-        assert_eq!(par.data(), reference.data());
-        assert!(par.allclose(&reference, 1e-5));
+            // Multi-thread dispatch: nn/tn stay bitwise (the row split
+            // never crosses an output row), nt reorders its dot sums.
+            let par = parallel::with_threads(threads, || a.matmul(&b));
+            assert_eq!(par.data(), reference.data());
+            assert!(par.allclose(&reference, 1e-5));
 
-        let at = a.transpose();
-        let tn = parallel::with_threads(threads, || at.matmul_tn(&b).unwrap());
-        assert_eq!(tn.data(), reference.data());
+            let at = a.transpose();
+            let tn = parallel::with_threads(threads, || at.matmul_tn(&b).unwrap());
+            assert_eq!(tn.data(), reference.data());
 
-        let bt = b.transpose();
-        let nt = parallel::with_threads(threads, || a.matmul_nt(&bt).unwrap());
-        assert!(nt.allclose(&reference, 1e-5));
+            let bt = b.transpose();
+            let nt = parallel::with_threads(threads, || a.matmul_nt(&bt).unwrap());
+            assert!(nt.allclose(&reference, 1e-5));
+        });
     });
+}
+
+/// Asserts every element of `got` is within `max_ulp` of `want`, OR within
+/// a rigorous absolute bound for chains that cancel: the worst-case
+/// rounding gap between a k-long FMA chain and a k-long mul-then-add chain
+/// is at most `~2k * eps * sum_p |a_ip * b_pj|`, which `abs_bound` carries
+/// per element (computed as `|a| *_reference |b|`). Most elements pass the
+/// tight ULP leg; the absolute leg only matters near cancellation, where
+/// ULP distance is meaningless but the absolute error is still provably
+/// tiny.
+fn assert_ulp_close(
+    got: &Tensor,
+    want: &Tensor,
+    abs_bound: &Tensor,
+    k: usize,
+    mode: &str,
+    label: &str,
+) {
+    const MAX_ULP: u64 = 16;
+    assert_eq!(got.shape(), want.shape(), "{mode}/{label}: shape");
+    let abs_tol = 2.0 * k as f32 * f32::EPSILON;
+    for (i, ((&g, &w), &bnd)) in got
+        .data()
+        .iter()
+        .zip(want.data())
+        .zip(abs_bound.data())
+        .enumerate()
+    {
+        let ulp = ulp_distance(g, w);
+        if ulp <= MAX_ULP || (g - w).abs() <= abs_tol * bnd {
+            continue;
+        }
+        panic!("{mode}/{label}: element {i}: {g} vs {w} is {ulp} ULP apart (abs bound {bnd})");
+    }
+}
+
+/// Every SIMD mode runnable on this host (never includes scalar).
+fn simd_modes() -> Vec<SimdMode> {
+    let mut modes = Vec::new();
+    if simd::avx2_supported() {
+        modes.push(SimdMode::Avx2);
+    }
+    if simd::avx512_supported() {
+        modes.push(SimdMode::Avx512);
+    }
+    modes
+}
+
+/// Scalar plus every SIMD mode runnable on this host.
+fn all_modes() -> Vec<SimdMode> {
+    let mut modes = vec![SimdMode::Scalar];
+    modes.extend(simd_modes());
+    modes
+}
+
+// The cross-path contract: every SIMD tier (AVX2+FMA and, where the host
+// has it, AVX-512) agrees with the scalar reference to tight ULP
+// tolerance on every layout, across random shapes with ragged tails
+// (dimensions straddling the 8/16/32-lane widths). Skips quietly on
+// hosts without SIMD support — the CI scalar leg still runs the suite
+// body to exercise the guard.
+#[test]
+fn simd_kernels_match_reference_within_ulp() {
+    let modes = simd_modes();
+    if modes.is_empty() {
+        return;
+    }
+    check_n("simd_kernels_match_reference_within_ulp", 12, |g| {
+        // Dimension draws deliberately cross the 8/16/32-lane boundaries.
+        let m = g.usize_in(1, 70);
+        let k = g.usize_in(1, 130);
+        let n = g.usize_in(1, 161);
+        let threads = g.usize_in(1, 5);
+        let mut rng = KvecRng::seed_from_u64(g.u64());
+        let a = Tensor::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+        let reference = a.matmul_reference(&b).unwrap();
+        let abs_bound = a.map(f32::abs).matmul_reference(&b.map(f32::abs)).unwrap();
+
+        for &mode in &modes {
+            simd::with_simd(mode, || {
+                parallel::with_threads(threads, || {
+                    let nn = a.matmul(&b);
+                    assert_ulp_close(&nn, &reference, &abs_bound, k, mode.name(), "nn");
+
+                    let at = a.transpose();
+                    let tn = at.matmul_tn(&b).unwrap();
+                    assert_ulp_close(&tn, &reference, &abs_bound, k, mode.name(), "tn");
+
+                    let bt = b.transpose();
+                    let nt = a.matmul_nt(&bt).unwrap();
+                    assert_ulp_close(&nt, &reference, &abs_bound, k, mode.name(), "nt");
+                });
+            });
+        }
+    });
+}
+
+// Edge cases both paths must handle identically: empty outputs, zero inner
+// dimension, single rows/columns.
+#[test]
+fn kernel_edge_shapes_on_both_paths() {
+    for mode in all_modes() {
+        simd::with_simd(mode, || {
+            // m == 0: empty output, no kernel invocation.
+            let a = Tensor::zeros(0, 5);
+            let b = Tensor::zeros(5, 7);
+            assert_eq!(a.matmul(&b).shape(), (0, 7));
+
+            // k == 0: the empty sum — all zeros by convention.
+            let a = Tensor::from_vec(4, 0, vec![]).unwrap();
+            let b = Tensor::from_vec(0, 3, vec![]).unwrap();
+            let out = a.matmul(&b);
+            assert_eq!(out.shape(), (4, 3));
+            assert!(out.data().iter().all(|&v| v == 0.0), "{mode:?}");
+
+            // n == 0: zero-width output.
+            let a = Tensor::ones(3, 4);
+            let b = Tensor::zeros(4, 0);
+            assert_eq!(a.matmul(&b).shape(), (3, 0));
+
+            // 1x1x1 and single-row GEMV shapes (ragged n).
+            let a = Tensor::scalar(3.0);
+            let b = Tensor::scalar(-2.0);
+            assert_eq!(a.matmul(&b).item(), -6.0);
+            let mut rng = KvecRng::seed_from_u64(11);
+            let a = Tensor::rand_uniform(1, 24, -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(24, 19, -1.0, 1.0, &mut rng);
+            let want = a.matmul_reference(&b).unwrap();
+            assert!(a.matmul(&b).allclose(&want, 1e-5), "{mode:?} gemv");
+        });
+    }
+}
+
+// Within-path determinism: the same inputs through the same kernel path
+// produce the same output bits, run to run and thread count to thread
+// count (cross-path bits legitimately differ; see the ULP suite).
+#[test]
+fn same_input_twice_is_bitwise_identical_per_path() {
+    let mut rng = KvecRng::seed_from_u64(77);
+    let a = Tensor::rand_uniform(37, 41, -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(41, 29, -1.0, 1.0, &mut rng);
+    for mode in all_modes() {
+        simd::with_simd(mode, || {
+            let first = a.matmul(&b);
+            let second = a.matmul(&b);
+            let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&first), bits(&second), "{mode:?} nn rerun");
+
+            let at = a.transpose();
+            assert_eq!(
+                bits(&at.matmul_tn(&b).unwrap()),
+                bits(&at.matmul_tn(&b).unwrap()),
+                "{mode:?} tn rerun"
+            );
+            let bt = b.transpose();
+            assert_eq!(
+                bits(&a.matmul_nt(&bt).unwrap()),
+                bits(&a.matmul_nt(&bt).unwrap()),
+                "{mode:?} nt rerun"
+            );
+
+            // And across thread counts within the path.
+            let serial = parallel::with_threads(1, || a.matmul(&b));
+            let par = parallel::with_threads(4, || a.matmul(&b));
+            assert_eq!(bits(&serial), bits(&par), "{mode:?} thread invariance");
+        });
+    }
 }
