@@ -1,0 +1,196 @@
+//! Regenerates `BENCH_streaming.json`: the long-stream memory profile of
+//! the bounded streaming engine. Feeds the same ≥100k-arrival tangled
+//! stream (sequential traffic groups, flows force-classified at group
+//! end) through the unbounded drop-only engine and the windowed engine,
+//! sampling resident KV cache rows along the way. The report shows the
+//! unbounded residency growing linearly while the windowed residency
+//! stays flat at O(live span), and certifies that every decision matched
+//! bit-for-bit. Run with `--release`:
+//!
+//! ```text
+//! cargo run --release -p kvec-bench --bin bench_streaming
+//! ```
+
+use kvec::streaming::{Decision, StreamingEngine};
+use kvec::{KvecConfig, KvecModel};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::{mixer, Item, Key};
+use kvec_json::{Json, ToJson};
+use kvec_tensor::KvecRng;
+use std::time::Instant;
+
+const GROUPS: usize = 520;
+const FLOWS_PER_GROUP: usize = 8;
+const SAMPLE_EVERY: usize = 5_000;
+
+fn soak_stream() -> (Vec<Item>, Vec<(usize, Vec<Key>)>) {
+    let mut items = Vec::new();
+    let mut group_ends = Vec::new();
+    for g in 0..GROUPS {
+        let mut rng = KvecRng::seed_from_u64(1000 + g as u64);
+        let dcfg = TrafficConfig {
+            num_flows: FLOWS_PER_GROUP,
+            num_classes: 2,
+            mean_len: 25,
+            min_len: 20,
+            max_len: 30,
+            ..TrafficConfig::traffic_app(0)
+        };
+        let pool = generate_traffic(&dcfg, &mut rng);
+        let mut tangled = mixer::tangle_group(&pool, &mut rng);
+        let offset = (g * FLOWS_PER_GROUP) as u64;
+        let mut keys = Vec::new();
+        for item in &mut tangled.items {
+            item.key = Key(item.key.0 + offset);
+            if !keys.contains(&item.key) {
+                keys.push(item.key);
+            }
+        }
+        items.extend(tangled.items);
+        group_ends.push((items.len(), keys));
+    }
+    (items, group_ends)
+}
+
+struct RunReport {
+    decisions: Vec<Decision>,
+    samples: Vec<(usize, usize)>,
+    max_resident: usize,
+    evicted: usize,
+    elapsed_s: f64,
+}
+
+fn drive(
+    mut engine: StreamingEngine,
+    items: &[Item],
+    group_ends: &[(usize, Vec<Key>)],
+) -> RunReport {
+    let mut decisions = Vec::new();
+    let mut samples = Vec::new();
+    let mut max_resident = 0usize;
+    let mut next_group = 0usize;
+    let t0 = Instant::now();
+    for (pos, item) in items.iter().enumerate() {
+        if let Some(d) = engine.feed(item).expect("bench engine cannot fault") {
+            decisions.push(d);
+        }
+        max_resident = max_resident.max(engine.cache_rows());
+        if (pos + 1) % SAMPLE_EVERY == 0 {
+            samples.push((pos + 1, engine.cache_rows()));
+        }
+        if pos + 1 == group_ends[next_group].0 {
+            for &key in &group_ends[next_group].1 {
+                if let Some(d) = engine.halt_key(key) {
+                    decisions.push(d);
+                }
+            }
+            next_group += 1;
+        }
+    }
+    decisions.extend(engine.finish());
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    RunReport {
+        decisions,
+        samples,
+        max_resident,
+        evicted: engine.evicted_rows(),
+        elapsed_s,
+    }
+}
+
+fn samples_json(samples: &[(usize, usize)]) -> Json {
+    Json::arr(samples.iter().map(|&(arrivals, rows)| {
+        Json::obj([
+            ("arrivals", arrivals.to_json()),
+            ("cache_rows", rows.to_json()),
+        ])
+    }))
+}
+
+fn decisions_identical(a: &[Decision], b: &[Decision]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.key == y.key
+                && x.pred == y.pred
+                && x.n_items == y.n_items
+                && x.global_pos == y.global_pos
+                && x.halted_by_policy == y.halted_by_policy
+                && x.probs.len() == y.probs.len()
+                && x.probs
+                    .iter()
+                    .zip(&y.probs)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+fn main() {
+    let (items, group_ends) = soak_stream();
+    let mut rng = KvecRng::seed_from_u64(7);
+    let dcfg = TrafficConfig {
+        num_flows: FLOWS_PER_GROUP,
+        num_classes: 2,
+        ..TrafficConfig::traffic_app(0)
+    };
+    let cfg = KvecConfig::tiny(&dcfg.schema(), 2);
+    let model = KvecModel::new(&cfg, &mut rng);
+
+    let unbounded = drive(
+        StreamingEngine::new(&model).with_halted_feed_dropping(),
+        &items,
+        &group_ends,
+    );
+    let windowed = drive(
+        StreamingEngine::new(&model).with_windowed_cache(),
+        &items,
+        &group_ends,
+    );
+    let identical = decisions_identical(&unbounded.decisions, &windowed.decisions);
+    assert!(identical, "windowed decisions diverged from unbounded");
+
+    // Resident bytes per layer at the high-water mark: K + V rows of
+    // width d_model in f32.
+    let row_bytes = 2 * cfg.d_model * std::mem::size_of::<f32>();
+    let run_json = |r: &RunReport| {
+        Json::obj([
+            ("max_resident_rows", r.max_resident.to_json()),
+            (
+                "max_resident_kv_bytes_per_layer",
+                (r.max_resident * row_bytes).to_json(),
+            ),
+            ("evicted_rows", r.evicted.to_json()),
+            ("decisions", r.decisions.len().to_json()),
+            ("elapsed_s", r.elapsed_s.to_json()),
+            (
+                "items_per_s",
+                ((items.len() as f64) / r.elapsed_s).to_json(),
+            ),
+            ("residency_curve", samples_json(&r.samples)),
+        ])
+    };
+    let report = Json::obj([
+        (
+            "generated_by",
+            "cargo run --release -p kvec-bench --bin bench_streaming".to_json(),
+        ),
+        (
+            "stream",
+            Json::obj([
+                ("arrivals", items.len().to_json()),
+                ("groups", GROUPS.to_json()),
+                ("flows_per_group", FLOWS_PER_GROUP.to_json()),
+                ("d_model", cfg.d_model.to_json()),
+            ]),
+        ),
+        ("unbounded", run_json(&unbounded)),
+        ("windowed", run_json(&windowed)),
+        ("decisions_bit_identical", identical.to_json()),
+        (
+            "residency_ratio_unbounded_over_windowed",
+            ((unbounded.max_resident as f64) / (windowed.max_resident as f64)).to_json(),
+        ),
+    ]);
+    let pretty = report.dump_pretty();
+    std::fs::write("BENCH_streaming.json", &pretty).expect("write BENCH_streaming.json");
+    println!("{pretty}");
+    eprintln!("wrote BENCH_streaming.json");
+}

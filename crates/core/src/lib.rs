@@ -46,6 +46,7 @@
 //! assert!(report.accuracy >= 0.0 && report.earliness <= 1.0);
 //! ```
 
+pub mod cache;
 pub mod checkpoint;
 pub mod classifier;
 pub mod config;
@@ -61,6 +62,7 @@ pub mod model;
 pub mod streaming;
 pub mod train;
 
+pub use cache::CacheWindow;
 pub use config::KvecConfig;
 pub use eval::{evaluate, EvalReport};
 pub use faults::FaultInjector;

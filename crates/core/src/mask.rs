@@ -48,6 +48,13 @@ struct KeyState {
     items: Vec<usize>,
     trailing_code: u32,
     trailing_items: Vec<usize>,
+    /// Oldest global position any *future* arrival can still attend
+    /// through this key: with key correlation, its first item (key edges
+    /// reach the whole history); otherwise the start of its trailing
+    /// session (the only value-edge targets); `None` when both
+    /// correlations are ablated (no row of this key outlives its own
+    /// arrival).
+    anchor: Option<usize>,
 }
 
 /// Incremental builder of the dynamic mask.
@@ -56,6 +63,16 @@ pub struct MaskBuilder {
     use_value: bool,
     keys: BTreeMap<Key, KeyState>,
     rows: Vec<RowEdges>,
+    /// Whether per-row edge lists are retained for [`Self::build_mask`] /
+    /// [`Self::edge_kinds`]. The streaming engine disables this: retaining
+    /// every row's edges is an O(stream length) leak in a one-pass setting.
+    record_rows: bool,
+    /// Items pushed so far (`rows.len()` when recording; kept separately
+    /// so the streaming builder still numbers arrivals).
+    len: usize,
+    /// Multiset of the registered keys' anchors (position -> key count).
+    /// Its minimum is [`Self::live_horizon`].
+    anchors: BTreeMap<usize, usize>,
 }
 
 impl MaskBuilder {
@@ -66,22 +83,55 @@ impl MaskBuilder {
             use_value,
             keys: BTreeMap::new(),
             rows: Vec::new(),
+            record_rows: true,
+            len: 0,
+            anchors: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a builder for one-pass streaming: identical edge semantics,
+    /// but per-row edge lists are not retained ([`Self::build_mask`] and
+    /// [`Self::edge_kinds`] panic), so builder memory is O(live keys ·
+    /// window) instead of O(stream length).
+    pub fn streaming(use_key: bool, use_value: bool) -> Self {
+        Self {
+            record_rows: false,
+            ..Self::new(use_key, use_value)
         }
     }
 
     /// Number of items pushed so far.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True before any item arrives.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
+    }
+
+    /// Number of keys currently registered (not yet retired).
+    pub fn tracked_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn add_anchor(&mut self, pos: usize) {
+        *self.anchors.entry(pos).or_insert(0) += 1;
+    }
+
+    fn remove_anchor(&mut self, pos: usize) {
+        match self.anchors.get_mut(&pos) {
+            Some(1) => {
+                self.anchors.remove(&pos);
+            }
+            Some(n) => *n -= 1,
+            None => debug_assert!(false, "anchor {pos} not in multiset"),
+        }
     }
 
     /// Registers the arrival of an item, returning its visible set.
     pub fn push(&mut self, key: Key, session_code: u32) -> RowEdges {
-        let t = self.rows.len();
+        let t = self.len;
         let mut edges = RowEdges::default();
 
         if self.use_key {
@@ -102,11 +152,14 @@ impl MaskBuilder {
         }
 
         // Update this key's state.
+        let (use_key, use_value) = (self.use_key, self.use_value);
         let state = self.keys.entry(key).or_insert_with(|| KeyState {
             items: Vec::new(),
             trailing_code: session_code,
             trailing_items: Vec::new(),
+            anchor: None,
         });
+        let had_anchor = state.anchor;
         if state.trailing_items.is_empty() || state.trailing_code == session_code {
             state.trailing_code = session_code;
             state.trailing_items.push(t);
@@ -116,13 +169,65 @@ impl MaskBuilder {
             state.trailing_items.push(t);
         }
         state.items.push(t);
+        // Re-derive the anchor: fixed at the first item under key
+        // correlation, tracking the trailing-session start under value
+        // correlation alone, absent otherwise.
+        let new_anchor = if use_key {
+            Some(state.items[0])
+        } else if use_value {
+            Some(state.trailing_items[0])
+        } else {
+            None
+        };
+        state.anchor = new_anchor;
+        if had_anchor != new_anchor {
+            if let Some(old) = had_anchor {
+                self.remove_anchor(old);
+            }
+            if let Some(new) = new_anchor {
+                self.add_anchor(new);
+            }
+        }
 
-        self.rows.push(edges.clone());
+        self.len += 1;
+        if self.record_rows {
+            self.rows.push(edges.clone());
+        }
         edges
     }
 
+    /// Unregisters a key: none of its past items will appear in any future
+    /// visible set (its key-edge history and trailing session both leave
+    /// the attention pool), and [`Self::live_horizon`] no longer waits on
+    /// it. The streaming engine calls this when a sequence halts under
+    /// drop-halted semantics. Unknown keys are a no-op.
+    pub fn retire(&mut self, key: Key) {
+        if let Some(state) = self.keys.remove(&key) {
+            if let Some(anchor) = state.anchor {
+                self.remove_anchor(anchor);
+            }
+        }
+    }
+
+    /// The oldest global position any future arrival can still attend:
+    /// every row strictly before this horizon is *dead* — no key edge
+    /// (whole history of a registered key) nor value edge (a registered
+    /// key's trailing session) nor self edge (the arriving row itself,
+    /// always `>= len`) can ever reach it again. Equals [`Self::len`]
+    /// when no registered key holds attendable rows (then the entire
+    /// prefix is dead). Monotonically non-decreasing across pushes and
+    /// retires — the guarantee that makes prefix eviction sound.
+    pub fn live_horizon(&self) -> usize {
+        self.anchors.keys().next().copied().unwrap_or(self.len)
+    }
+
     /// Materializes the `T x T` additive mask (0 visible, `-inf` hidden).
+    /// Panics on a [`Self::streaming`] builder (row log disabled).
     pub fn build_mask(&self) -> Tensor {
+        assert!(
+            self.record_rows,
+            "build_mask requires a row-recording builder (MaskBuilder::new)"
+        );
         let t = self.rows.len();
         let mut m = Tensor::full(t, t, f32::NEG_INFINITY);
         for (i, row) in self.rows.iter().enumerate() {
@@ -136,8 +241,13 @@ impl MaskBuilder {
 
     /// Materializes the edge-kind matrix (row-major `T*T`). When a pair is
     /// both key- and value-correlated, `Key` wins: it is intra-sequence and
-    /// therefore *internal* attention.
+    /// therefore *internal* attention. Panics on a [`Self::streaming`]
+    /// builder (row log disabled).
     pub fn edge_kinds(&self) -> Vec<EdgeKind> {
+        assert!(
+            self.record_rows,
+            "edge_kinds requires a row-recording builder (MaskBuilder::new)"
+        );
         let t = self.rows.len();
         let mut kinds = vec![EdgeKind::None; t * t];
         for (i, row) in self.rows.iter().enumerate() {
@@ -365,6 +475,129 @@ mod tests {
         let kinds = builder.edge_kinds();
         assert!(kinds.contains(&EdgeKind::Key));
         assert!(kinds.contains(&EdgeKind::Value));
+    }
+
+    #[test]
+    fn streaming_builder_matches_recording_builder_edges() {
+        let tangled = sample();
+        let mut rec = MaskBuilder::new(true, true);
+        let mut stream = MaskBuilder::streaming(true, true);
+        for item in &tangled.items {
+            let a = rec.push(item.key, item.value[0]);
+            let b = stream.push(item.key, item.value[0]);
+            assert_eq!(a.key_edges, b.key_edges);
+            assert_eq!(a.value_edges, b.value_edges);
+        }
+        assert_eq!(stream.len(), rec.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row-recording builder")]
+    fn streaming_builder_rejects_build_mask() {
+        let mut b = MaskBuilder::streaming(true, true);
+        b.push(Key(1), 0);
+        let _ = b.build_mask();
+    }
+
+    #[test]
+    fn retire_removes_key_and_value_visibility() {
+        // Key 1 builds history and a trailing session; after retirement,
+        // neither key 1 itself (were it to somehow re-arrive) nor other
+        // keys can see any of its rows.
+        let mut b = MaskBuilder::streaming(true, true);
+        b.push(Key(1), 0);
+        b.push(Key(1), 0);
+        // Key 2 arriving with code 0 sees key 1's trailing session.
+        let e = b.push(Key(2), 0);
+        assert_eq!(e.value_edges, vec![0, 1]);
+        b.retire(Key(1));
+        assert_eq!(b.tracked_keys(), 1);
+        // A later arrival of key 3 with the matching code no longer sees
+        // key 1's rows — only key 2's trailing session.
+        let e = b.push(Key(3), 0);
+        assert_eq!(e.value_edges, vec![2]);
+        // Key 1 re-arriving is treated as a fresh key: no key edges to its
+        // pre-retirement history.
+        let e = b.push(Key(1), 0);
+        assert!(e.key_edges.is_empty());
+    }
+
+    #[test]
+    fn live_horizon_tracks_oldest_attendable_row() {
+        // With key correlation, a key pins its first item until retired.
+        let mut b = MaskBuilder::streaming(true, true);
+        assert_eq!(b.live_horizon(), 0, "empty builder: nothing is live");
+        b.push(Key(1), 0); // pos 0
+        b.push(Key(2), 0); // pos 1
+        b.push(Key(1), 1); // pos 2
+        assert_eq!(b.live_horizon(), 0, "key 1 anchors at its first item");
+        b.retire(Key(1));
+        assert_eq!(b.live_horizon(), 1, "key 2 now holds the horizon");
+        b.retire(Key(2));
+        assert_eq!(b.live_horizon(), 3, "no keys: the whole prefix is dead");
+        // Horizon is monotone: a new arrival anchors at its own position.
+        b.push(Key(3), 0); // pos 3
+        assert_eq!(b.live_horizon(), 3);
+    }
+
+    #[test]
+    fn live_horizon_follows_trailing_session_without_key_correlation() {
+        // Value-only masks: a key's rows are attendable only through its
+        // trailing session, so a session reset advances its anchor.
+        let mut b = MaskBuilder::streaming(false, true);
+        b.push(Key(1), 0); // pos 0
+        b.push(Key(1), 0); // pos 1
+        b.push(Key(2), 7); // pos 2
+        assert_eq!(b.live_horizon(), 0);
+        b.push(Key(1), 5); // pos 3: key 1's session resets -> anchor 3
+        assert_eq!(b.live_horizon(), 2, "key 2's trailing start now oldest");
+        b.push(Key(2), 7); // pos 4: extends key 2's session, anchor stays 2
+        assert_eq!(b.live_horizon(), 2);
+        b.push(Key(2), 8); // pos 5: key 2 resets -> anchor 5
+        assert_eq!(b.live_horizon(), 3);
+    }
+
+    #[test]
+    fn live_horizon_with_both_correlations_ablated_is_len() {
+        // Only the self edge exists; every already-pushed row is dead.
+        let mut b = MaskBuilder::streaming(false, false);
+        for (i, key) in [1u64, 2, 1, 3].iter().enumerate() {
+            b.push(Key(*key), 0);
+            assert_eq!(b.live_horizon(), i + 1);
+        }
+    }
+
+    #[test]
+    fn live_horizon_is_monotone_under_adversarial_stream() {
+        // The eviction contract: the horizon never moves backwards, no
+        // matter how sessions reset or keys retire.
+        for (use_key, use_value) in [(true, true), (true, false), (false, true), (false, false)] {
+            let mut b = MaskBuilder::streaming(use_key, use_value);
+            let stream: Vec<(u64, u32)> = vec![
+                (1, 0),
+                (2, 0),
+                (1, 1),
+                (3, 0),
+                (2, 1),
+                (1, 0),
+                (3, 0),
+                (2, 1),
+            ];
+            let mut last = b.live_horizon();
+            for (i, &(k, c)) in stream.iter().enumerate() {
+                b.push(Key(k), c);
+                if i == 4 {
+                    b.retire(Key(1));
+                }
+                let h = b.live_horizon();
+                assert!(
+                    h >= last,
+                    "horizon regressed {last} -> {h} (key={use_key}, value={use_value})"
+                );
+                assert!(h <= b.len());
+                last = h;
+            }
+        }
     }
 
     #[test]

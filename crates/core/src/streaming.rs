@@ -11,7 +11,26 @@
 //! inference. Equivalence with the teacher-forced training forward is
 //! enforced by tests and by the `streaming_matches_batch` integration
 //! test.
+//!
+//! # Bounded memory
+//!
+//! By default the per-layer KV caches append one row per arrival forever —
+//! exact batch equivalence, but O(t·d) per layer on an unbounded stream.
+//! Two opt-in modes trade the halted-key tail for a flat memory profile:
+//!
+//! * [`with_halted_feed_dropping`](StreamingEngine::with_halted_feed_dropping)
+//!   drops arrivals of already-halted keys before they enter the caches
+//!   (counted by `stream.halted_feed_drops`) and retires a key's mask
+//!   state when it halts, so its rows leave every future visible set.
+//! * [`with_windowed_cache`](StreamingEngine::with_windowed_cache)
+//!   additionally evicts cache rows older than every live key's
+//!   correlation window ([`MaskBuilder::live_horizon`]) through a
+//!   compacting [`CacheWindow`], bounding resident rows to
+//!   O(live span · d) per layer. Eviction only removes rows no visible
+//!   list can ever reference again, so windowed decisions are
+//!   bit-identical to the drop-only engine's (pinned by property test).
 
+use crate::cache::CacheWindow;
 use crate::ectl::{Action, Ectl};
 use crate::mask::MaskBuilder;
 use crate::model::KvecModel;
@@ -22,11 +41,22 @@ use kvec_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Distinct keys with live fusion state (sampled after every accepted
-/// item; its high-water mark is the memory bound a deployment needs).
+/// Distinct keys with *live* (not yet halted) fusion state — sampled after
+/// every accepted item and after every halt, so it settles back to zero as
+/// sequences classify; its high-water mark is the concurrency a deployment
+/// must provision for.
 static ACTIVE_KEYS_GAUGE: LazyGauge = LazyGauge::new("stream.active_keys");
 static STREAM_ITEMS: LazyCounter = LazyCounter::new("stream.items");
 static STREAM_HALTS: LazyCounter = LazyCounter::new("stream.halts");
+/// Feeds addressed to an already-halted key that were discarded under
+/// [`StreamingEngine::with_halted_feed_dropping`].
+static HALTED_FEED_DROPS: LazyCounter = LazyCounter::new("stream.halted_feed_drops");
+/// Physical KV rows resident per layer right now. Flat on a long stream
+/// under [`StreamingEngine::with_windowed_cache`]; equal to the arrival
+/// count on the default unbounded engine.
+static CACHE_ROWS_GAUGE: LazyGauge = LazyGauge::new("stream.cache_rows");
+/// Total KV rows evicted from the front of the caches so far.
+static EVICTED_ROWS_GAUGE: LazyGauge = LazyGauge::new("stream.evicted_rows");
 
 /// Misuse of a [`StreamingEngine`], reported as a typed error instead of
 /// silently corrupting per-key state.
@@ -76,7 +106,8 @@ pub struct Decision {
     /// Global stream position of the halting item.
     pub global_pos: usize,
     /// Whether the policy halted (vs. the caller forcing classification
-    /// via [`StreamingEngine::finish`]).
+    /// via [`StreamingEngine::finish`] or
+    /// [`StreamingEngine::halt_key`]).
     pub halted_by_policy: bool,
 }
 
@@ -87,18 +118,43 @@ struct KeySeqState {
     halted: bool,
 }
 
+impl KeySeqState {
+    fn n_items_total(&self) -> usize {
+        self.n_items
+    }
+
+    /// Frees the fusion state once a decision has been emitted — a halted
+    /// key keeps only this struct's scalars, not two `d`-wide tensors.
+    fn release(&mut self) {
+        self.h = Tensor::zeros(0, 0);
+        self.c = Tensor::zeros(0, 0);
+    }
+}
+
 /// Incremental inference engine over one tangled stream.
 pub struct StreamingEngine<'m> {
     model: &'m KvecModel,
     masks: MaskBuilder,
-    /// Cached key/value projections per block.
+    /// Cached key/value projections per block. Row `g - base` holds global
+    /// position `g`, where `base` is 0 for the unbounded engine and
+    /// [`CacheWindow::base`] under `with_windowed_cache`.
     layer_keys: Vec<Tensor>,
     layer_values: Vec<Tensor>,
     keys_state: BTreeMap<Key, KeySeqState>,
+    /// Accepted arrivals: rows appended to the mask and caches.
     t: usize,
+    /// All `Ok` feeds, including halted-key drops.
+    fed: usize,
+    /// Halted sequences, maintained incrementally (O(1) `halted_count`).
+    halted: usize,
+    dropped_feeds: usize,
     finished: bool,
     max_active_keys: Option<usize>,
     high_water: usize,
+    /// Discard feeds for already-halted keys and retire their mask state.
+    drop_halted: bool,
+    /// Prefix eviction over the KV caches (implies `drop_halted`).
+    window: Option<CacheWindow>,
 }
 
 impl<'m> StreamingEngine<'m> {
@@ -107,7 +163,7 @@ impl<'m> StreamingEngine<'m> {
         let n_blocks = model.encoder.blocks().len();
         Self {
             model,
-            masks: MaskBuilder::new(
+            masks: MaskBuilder::streaming(
                 model.cfg.use_key_correlation,
                 model.cfg.use_value_correlation,
             ),
@@ -115,20 +171,57 @@ impl<'m> StreamingEngine<'m> {
             layer_values: vec![Tensor::zeros(0, 0); n_blocks],
             keys_state: BTreeMap::new(),
             t: 0,
+            fed: 0,
+            halted: 0,
+            dropped_feeds: 0,
             finished: false,
             max_active_keys: None,
             high_water: 0,
+            drop_halted: false,
+            window: None,
         }
     }
 
     /// Bounds the number of distinct keys the engine will track (a memory
-    /// guard for long-lived deployments: each key holds fusion state
-    /// forever). Feeding an item that would *start* a new sequence beyond
-    /// the bound returns [`StreamError::ActiveKeyLimit`]; items of already
-    /// known keys are unaffected.
+    /// guard for long-lived deployments: each key holds per-sequence
+    /// bookkeeping forever). Feeding an item that would *start* a new
+    /// sequence beyond the bound returns [`StreamError::ActiveKeyLimit`];
+    /// items of already known keys — live or halted — are unaffected.
     pub fn with_max_active_keys(mut self, limit: usize) -> Self {
         assert!(limit > 0, "active-key bound must be at least 1");
         self.max_active_keys = Some(limit);
+        self
+    }
+
+    /// Discards feeds addressed to already-halted keys instead of caching
+    /// them as attention context, and retires a key's mask state when it
+    /// halts so its rows drop out of every future visible set.
+    ///
+    /// This is the semantic cut that makes bounded memory possible: under
+    /// the default semantics a halted key's frozen trailing session stays
+    /// value-attendable forever, pinning its whole history live. Dropped
+    /// feeds are counted (`stream.halted_feed_drops`,
+    /// [`halted_feed_drops`](StreamingEngine::halted_feed_drops)) rather
+    /// than silently no-oped. Decisions for *live* keys change only in so
+    /// far as halted-key context disappears — exact batch equivalence is
+    /// traded for a flat memory profile.
+    pub fn with_halted_feed_dropping(mut self) -> Self {
+        self.drop_halted = true;
+        self
+    }
+
+    /// Bounds resident KV cache memory: implies
+    /// [`with_halted_feed_dropping`](StreamingEngine::with_halted_feed_dropping)
+    /// and additionally evicts cache rows older than
+    /// [`MaskBuilder::live_horizon`] — the oldest global position any live
+    /// key's correlation window can still attend — through a compacting
+    /// [`CacheWindow`]. Eviction never removes a row a future visible
+    /// list can reference, so decisions are bit-identical to
+    /// `with_halted_feed_dropping` alone (pinned by property test) while
+    /// resident rows stay O(live span) regardless of stream length.
+    pub fn with_windowed_cache(mut self) -> Self {
+        self.drop_halted = true;
+        self.window = Some(CacheWindow::new());
         self
     }
 
@@ -137,33 +230,61 @@ impl<'m> StreamingEngine<'m> {
         self.finished
     }
 
-    /// Number of items consumed so far.
+    /// Number of items consumed so far (including feeds dropped under
+    /// [`with_halted_feed_dropping`](StreamingEngine::with_halted_feed_dropping)).
     pub fn items_seen(&self) -> usize {
-        self.t
+        self.fed
     }
 
-    /// Number of sequences already halted.
+    /// Number of sequences already halted. O(1): maintained incrementally
+    /// rather than scanning the key map.
     pub fn halted_count(&self) -> usize {
-        self.keys_state.values().filter(|s| s.halted).count()
+        self.halted
     }
 
-    /// Number of distinct keys currently holding fusion state.
+    /// Distinct keys with live (not yet halted) fusion state.
     pub fn active_keys(&self) -> usize {
+        self.keys_state.len() - self.halted
+    }
+
+    /// Distinct keys ever seen, live or halted — the count bounded by
+    /// [`StreamingEngine::with_max_active_keys`].
+    pub fn tracked_keys(&self) -> usize {
         self.keys_state.len()
     }
 
-    /// The most keys this engine has ever tracked at once — the number a
-    /// deployment should compare against
+    /// The most keys this engine has ever had live at once — the
+    /// concurrency a deployment should compare against
     /// [`StreamingEngine::with_max_active_keys`].
     pub fn active_keys_high_water(&self) -> usize {
         self.high_water
     }
 
+    /// Physical KV rows currently resident per layer (equals the arrival
+    /// count on the default unbounded engine).
+    pub fn cache_rows(&self) -> usize {
+        self.window.as_ref().map_or(self.t, |w| w.resident(self.t))
+    }
+
+    /// Total KV rows evicted so far (always 0 without
+    /// [`with_windowed_cache`](StreamingEngine::with_windowed_cache)).
+    pub fn evicted_rows(&self) -> usize {
+        self.window.as_ref().map_or(0, CacheWindow::evicted)
+    }
+
+    /// Feeds discarded because their key had already halted (only under
+    /// [`with_halted_feed_dropping`](StreamingEngine::with_halted_feed_dropping)).
+    pub fn halted_feed_drops(&self) -> usize {
+        self.dropped_feeds
+    }
+
     /// Feeds one arriving item. Returns `Ok(Some(decision))` when this item
-    /// makes its sequence halt; items of already-halted sequences still
-    /// enter the attention caches (they remain visible context for other
-    /// sequences — a deliberate `Ok(None)` no-op, not an error) but produce
-    /// no further decisions.
+    /// makes its sequence halt. Items of already-halted sequences produce
+    /// no further decisions: by default they still enter the attention
+    /// caches (they remain visible context for other sequences — a
+    /// deliberate `Ok(None)` no-op, not an error); under
+    /// [`with_halted_feed_dropping`](StreamingEngine::with_halted_feed_dropping)
+    /// they are counted and discarded instead.
     ///
     /// Fails — leaving the engine state untouched — when the stream was
     /// already [`finish`](StreamingEngine::finish)ed or the item would
@@ -177,7 +298,13 @@ impl<'m> StreamingEngine<'m> {
                 return Err(StreamError::ActiveKeyLimit { limit });
             }
         }
+        self.fed += 1;
         STREAM_ITEMS.add(1);
+        if self.drop_halted && self.keys_state.get(&item.key).is_some_and(|s| s.halted) {
+            self.dropped_feeds += 1;
+            HALTED_FEED_DROPS.add(1);
+            return Ok(None);
+        }
         let model = self.model;
         let store = &model.store;
         let session_code = item.value[model.cfg.session_field];
@@ -213,7 +340,10 @@ impl<'m> StreamingEngine<'m> {
                 .map_or(0, |s| s.n_items_total())
         };
 
-        // Embed and run the new row through the block stack.
+        // Embed and run the new row through the block stack. Visible
+        // positions are global; the window base maps them to physical
+        // cache rows (0 for the unbounded engine).
+        let base = self.window.as_ref().map_or(0, CacheWindow::base);
         let idx =
             model
                 .encoder
@@ -226,8 +356,13 @@ impl<'m> StreamingEngine<'m> {
             self.layer_keys[l].push_row(k.data());
             self.layer_values[l].push_row(v.data());
             let q = block.project_q(store, &x);
-            let (attended, _weights) =
-                block.attend_row(&q, &self.layer_keys[l], &self.layer_values[l], &visible);
+            let (attended, _weights) = block.attend_row_window(
+                &q,
+                &self.layer_keys[l],
+                &self.layer_values[l],
+                &visible,
+                base,
+            );
             x = block.finish_row(store, &attended, &x);
             if let Some(norms) = model.encoder.norms() {
                 x = norms[l].apply(store, &x);
@@ -244,15 +379,16 @@ impl<'m> StreamingEngine<'m> {
                 n_items: 0,
                 halted: false,
             });
-        let active = self.keys_state.len();
-        self.high_water = self.high_water.max(active);
-        ACTIVE_KEYS_GAUGE.set(active as f64);
+        let live = self.keys_state.len() - self.halted;
+        self.high_water = self.high_water.max(live);
+        ACTIVE_KEYS_GAUGE.set(live as f64);
         let state = self
             .keys_state
             .get_mut(&item.key)
             .expect("entry inserted above");
         state.n_items += 1;
         if state.halted {
+            self.maintain_window();
             return Ok(None);
         }
         let (h, c) = model
@@ -263,10 +399,12 @@ impl<'m> StreamingEngine<'m> {
         state.c = c;
 
         let p_halt = model.ectl.halt_probability(store, &state.h);
+        let mut decision = None;
         if Ectl::threshold_action(p_halt, model.cfg.halt_threshold) == Action::Halt {
             state.halted = true;
             let (pred, probs) = model.classifier.predict(store, &state.h);
-            let decision = Decision {
+            state.release();
+            let d = Decision {
                 key: item.key,
                 pred,
                 probs: probs.into_vec(),
@@ -274,28 +412,65 @@ impl<'m> StreamingEngine<'m> {
                 global_pos,
                 halted_by_policy: true,
             };
+            self.note_halt(item.key);
             STREAM_HALTS.add(1);
-            emit_decision(&decision);
-            return Ok(Some(decision));
+            emit_decision(&d);
+            decision = Some(d);
         }
-        Ok(None)
+        self.maintain_window();
+        Ok(decision)
+    }
+
+    /// Forces an immediate classification for one live key (e.g. the
+    /// transport layer reported the flow closed). Returns `None` when the
+    /// key is unknown or already halted; the emitted decision has
+    /// `halted_by_policy: false`. Under the bounded-memory modes this also
+    /// retires the key, letting the eviction horizon advance past its
+    /// rows.
+    pub fn halt_key(&mut self, key: Key) -> Option<Decision> {
+        let model = self.model;
+        let state = self.keys_state.get_mut(&key)?;
+        if state.halted || state.n_items == 0 {
+            return None;
+        }
+        state.halted = true;
+        let (pred, probs) = model.classifier.predict(&model.store, &state.h);
+        state.release();
+        let decision = Decision {
+            key,
+            pred,
+            probs: probs.into_vec(),
+            n_items: state.n_items,
+            global_pos: self.t.saturating_sub(1),
+            halted_by_policy: false,
+        };
+        self.note_halt(key);
+        self.maintain_window();
+        STREAM_HALTS.add(1);
+        emit_decision(&decision);
+        Some(decision)
     }
 
     /// Forces a classification for every still-active sequence (stream
     /// end). Returns their decisions in key order. Marks the stream
     /// finished: any later [`feed`](StreamingEngine::feed) returns
     /// [`StreamError::Finished`]; calling `finish` again is an idempotent
-    /// no-op returning an empty vector.
+    /// no-op returning an empty vector. The `stream.active_keys` gauge
+    /// settles to zero and, under
+    /// [`with_windowed_cache`](StreamingEngine::with_windowed_cache), the
+    /// caches are fully reclaimed.
     pub fn finish(&mut self) -> Vec<Decision> {
         self.finished = true;
         let model = self.model;
         let mut decisions = Vec::new();
+        let mut halted_keys = Vec::new();
         for (&key, state) in self.keys_state.iter_mut() {
             if state.halted || state.n_items == 0 {
                 continue;
             }
             state.halted = true;
             let (pred, probs) = model.classifier.predict(&model.store, &state.h);
+            state.release();
             let decision = Decision {
                 key,
                 pred,
@@ -304,11 +479,63 @@ impl<'m> StreamingEngine<'m> {
                 global_pos: self.t.saturating_sub(1),
                 halted_by_policy: false,
             };
+            halted_keys.push(key);
             STREAM_HALTS.add(1);
             emit_decision(&decision);
             decisions.push(decision);
         }
+        for key in halted_keys {
+            self.note_halt(key);
+        }
+        // Stream end: everything is dead; reclaim the caches outright.
+        if let Some(window) = self.window.as_mut() {
+            let drop = window.flush(self.t);
+            if drop > 0 {
+                for k in &mut self.layer_keys {
+                    k.drop_front_rows(drop);
+                }
+                for v in &mut self.layer_values {
+                    v.drop_front_rows(drop);
+                }
+            }
+        }
+        self.publish_memory_gauges();
+        ACTIVE_KEYS_GAUGE.set(self.active_keys() as f64);
         decisions
+    }
+
+    /// Bookkeeping shared by every halt path: the incremental counter, the
+    /// live-keys gauge, and (in drop mode) mask retirement so the key's
+    /// rows leave every future visible set.
+    fn note_halt(&mut self, key: Key) {
+        self.halted += 1;
+        if self.drop_halted {
+            self.masks.retire(key);
+        }
+        ACTIVE_KEYS_GAUGE.set(self.active_keys() as f64);
+    }
+
+    /// Advances the eviction horizon, compacts the caches when the dead
+    /// prefix is worth a memmove, and publishes the memory gauges.
+    fn maintain_window(&mut self) {
+        if let Some(window) = self.window.as_mut() {
+            window.advance(self.masks.live_horizon());
+            let drop = window.take_compaction(self.t);
+            if drop > 0 {
+                for k in &mut self.layer_keys {
+                    k.drop_front_rows(drop);
+                }
+                for v in &mut self.layer_values {
+                    v.drop_front_rows(drop);
+                }
+            }
+        }
+        self.publish_memory_gauges();
+    }
+
+    fn publish_memory_gauges(&self) {
+        CACHE_ROWS_GAUGE.set(self.cache_rows() as f64);
+        EVICTED_ROWS_GAUGE.set(self.evicted_rows() as f64);
     }
 
     /// Replays a whole tangled sequence, returning every decision
@@ -325,12 +552,6 @@ impl<'m> StreamingEngine<'m> {
         }
         decisions.extend(engine.finish());
         decisions
-    }
-}
-
-impl KeySeqState {
-    fn n_items_total(&self) -> usize {
-        self.n_items
     }
 }
 
@@ -418,12 +639,24 @@ mod tests {
             let _ = engine.feed(item).unwrap();
         }
         assert_eq!(engine.items_seen(), tangled.len());
-        assert_eq!(engine.active_keys(), tangled.num_keys());
-        assert_eq!(engine.active_keys_high_water(), tangled.num_keys());
+        assert_eq!(engine.tracked_keys(), tangled.num_keys());
+        // Live + halted always partitions the tracked keys.
+        assert_eq!(
+            engine.active_keys() + engine.halted_count(),
+            tangled.num_keys()
+        );
+        let high_water = engine.active_keys_high_water();
+        assert!(high_water >= 1 && high_water <= tangled.num_keys());
         let first = engine.finish();
         let second = engine.finish();
         assert!(second.is_empty(), "finish must not re-emit decisions");
         assert_eq!(engine.halted_count(), tangled.num_keys());
+        assert_eq!(engine.active_keys(), 0, "gauge state settles at finish");
+        assert_eq!(
+            engine.active_keys_high_water(),
+            high_water,
+            "finish must not inflate the high-water mark"
+        );
         let _ = first;
     }
 
@@ -493,10 +726,139 @@ mod tests {
         // the attention caches but never re-open the sequence.
         let extra: Vec<_> = tangled.items.iter().filter(|i| i.key == key).collect();
         let halted_before = engine.halted_count();
+        let cache_before = engine.cache_rows();
+        let n_extra = extra.len();
         for item in extra {
             assert_eq!(engine.feed(item).unwrap().map(|d| d.key), None);
         }
         assert_eq!(engine.halted_count(), halted_before);
+        assert_eq!(
+            engine.cache_rows(),
+            cache_before + n_extra,
+            "default engine keeps halted-key items as attention context"
+        );
+        assert_eq!(engine.halted_feed_drops(), 0);
+    }
+
+    #[test]
+    fn halted_feed_dropping_discards_and_counts() {
+        let (model, tangled) = setup(8);
+        let mut engine = StreamingEngine::new(&model).with_halted_feed_dropping();
+        let mut halted_key = None;
+        for item in &tangled.items {
+            if let Some(d) = engine.feed(item).unwrap() {
+                halted_key = Some(d.key);
+                break;
+            }
+        }
+        let Some(key) = halted_key else {
+            return;
+        };
+        let extra: Vec<_> = tangled.items.iter().filter(|i| i.key == key).collect();
+        let n_extra = extra.len();
+        let cache_before = engine.cache_rows();
+        let seen_before = engine.items_seen();
+        for item in extra {
+            assert_eq!(engine.feed(item).unwrap().map(|d| d.key), None);
+        }
+        assert_eq!(engine.halted_feed_drops(), n_extra);
+        assert_eq!(
+            engine.items_seen(),
+            seen_before + n_extra,
+            "drops still count as consumed"
+        );
+        assert_eq!(
+            engine.cache_rows(),
+            cache_before,
+            "dropped feeds must not grow the cache"
+        );
+    }
+
+    #[test]
+    fn halt_key_forces_a_decision_once() {
+        let (model, tangled) = setup(9);
+        let mut engine = StreamingEngine::new(&model).with_halted_feed_dropping();
+        // Feed a short prefix so at least one key has items but the
+        // policy has (very likely) not classified everything yet.
+        let mut fed_key = None;
+        for item in tangled.items.iter().take(3) {
+            let _ = engine.feed(item).unwrap();
+            if fed_key.is_none() {
+                fed_key = Some(item.key);
+            }
+        }
+        let key = fed_key.expect("fed at least one item");
+        let live_before = engine.active_keys();
+        let halted_before = engine.halted_count();
+        let Some(decision) = engine.halt_key(key) else {
+            // The policy already halted this key on its own; forcing it
+            // again must be a no-op.
+            assert!(engine.halt_key(key).is_none());
+            return;
+        };
+        assert_eq!(decision.key, key);
+        assert!(!decision.halted_by_policy);
+        assert!(decision.n_items >= 1);
+        assert_eq!(engine.active_keys(), live_before - 1);
+        assert_eq!(engine.halted_count(), halted_before + 1);
+        assert!(engine.halt_key(key).is_none(), "second halt is a no-op");
+        assert!(
+            engine.finish().iter().all(|d| d.key != key),
+            "finish must not re-emit a forced decision"
+        );
+        assert!(
+            engine.halt_key(key).is_none(),
+            "unknown/halted after finish"
+        );
+    }
+
+    #[test]
+    fn windowed_cache_matches_drop_mode_decisions() {
+        let (model, tangled) = setup(10);
+        let run = |mut engine: StreamingEngine| -> Vec<Decision> {
+            let mut out = Vec::new();
+            for item in &tangled.items {
+                if let Some(d) = engine.feed(item).unwrap() {
+                    out.push(d);
+                }
+            }
+            out.extend(engine.finish());
+            assert_eq!(engine.active_keys(), 0);
+            out
+        };
+        let reference = run(StreamingEngine::new(&model).with_halted_feed_dropping());
+        let mut windowed_engine = StreamingEngine::new(&model).with_windowed_cache();
+        let mut windowed = Vec::new();
+        for item in &tangled.items {
+            if let Some(d) = windowed_engine.feed(item).unwrap() {
+                windowed.push(d);
+            }
+        }
+        windowed.extend(windowed_engine.finish());
+        assert_eq!(
+            windowed_engine.cache_rows(),
+            0,
+            "finish reclaims the windowed caches outright"
+        );
+        // Every accepted arrival (dropped halted-key feeds never enter
+        // the cache) is eventually evicted.
+        assert_eq!(
+            windowed_engine.evicted_rows() + windowed_engine.halted_feed_drops(),
+            tangled.len()
+        );
+
+        assert_eq!(reference.len(), windowed.len());
+        for (a, b) in reference.iter().zip(&windowed) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.pred, b.pred);
+            assert_eq!(a.n_items, b.n_items);
+            assert_eq!(a.global_pos, b.global_pos);
+            assert_eq!(a.halted_by_policy, b.halted_by_policy);
+            // Bit-identical, not merely close: eviction must not perturb
+            // a single arithmetic input.
+            let bits = |p: &[f32]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.probs), bits(&b.probs));
+        }
     }
 
     #[test]

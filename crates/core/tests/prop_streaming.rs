@@ -1,0 +1,192 @@
+//! Property-based equivalence of the bounded-memory streaming engine.
+//!
+//! The windowed cache (`with_windowed_cache`) may only ever evict KV rows
+//! that no live key's correlation window can still attend — so against the
+//! drop-only engine (`with_halted_feed_dropping`, same semantics, no
+//! eviction) every observable output must be **bit-identical**: same halt
+//! steps, same predictions, same probability bits, same errors. Any
+//! divergence means a row was evicted while still reachable.
+
+use kvec::streaming::{Decision, StreamError, StreamingEngine};
+use kvec::{KvecConfig, KvecModel};
+use kvec_check::{check_n, Gen};
+use kvec_data::{Item, Key, TangledSequence, ValueSchema};
+use kvec_tensor::KvecRng;
+
+const NUM_KEYS: u64 = 8;
+const SESSION_CODES: u32 = 4;
+
+/// Random tangled streams long enough to cross the compaction hysteresis
+/// threshold several times, so eviction actually fires mid-stream.
+fn gen_stream(g: &mut Gen) -> TangledSequence {
+    let len = g.usize_in(40, 160);
+    let raw: Vec<(u64, u32)> = (0..len)
+        .map(|_| (g.u64() % NUM_KEYS, g.u32_below(SESSION_CODES)))
+        .collect();
+    let items: Vec<Item> = raw
+        .iter()
+        .enumerate()
+        .map(|(t, &(k, code))| Item::new(Key(k), vec![code], t as u64))
+        .collect();
+    let mut keys: Vec<u64> = raw.iter().map(|&(k, _)| k).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let labels = keys.into_iter().map(|k| (Key(k), 0usize)).collect();
+    TangledSequence::new(items, labels)
+}
+
+fn gen_model(g: &mut Gen) -> KvecModel {
+    let schema = ValueSchema::new(vec!["session".into()], vec![SESSION_CODES as usize], 0);
+    let mut cfg = KvecConfig::tiny(&schema, 2);
+    // Vary the halt point so cases cover early halts, late halts, and
+    // streams the policy never halts (forced decisions at finish).
+    cfg.halt_threshold = g.f32_in(0.35, 0.75);
+    // Exercise the ablation quadrants: the live horizon is derived
+    // differently for each correlation flag combination.
+    cfg.use_key_correlation = g.bool();
+    cfg.use_value_correlation = g.bool();
+    let mut rng = KvecRng::seed_from_u64(g.u64());
+    KvecModel::new(&cfg, &mut rng)
+}
+
+fn assert_bit_identical(a: &Decision, b: &Decision) {
+    assert_eq!(a.key, b.key);
+    assert_eq!(a.pred, b.pred);
+    assert_eq!(a.n_items, b.n_items);
+    assert_eq!(a.global_pos, b.global_pos);
+    assert_eq!(a.halted_by_policy, b.halted_by_policy);
+    let bits = |p: &[f32]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a.probs), bits(&b.probs), "probs differ in the bits");
+}
+
+#[test]
+fn windowed_engine_is_bit_identical_to_unbounded_drop_engine() {
+    check_n(
+        "windowed_engine_is_bit_identical_to_unbounded_drop_engine",
+        40,
+        |g| {
+            let tangled = gen_stream(g);
+            let model = gen_model(g);
+            let limit = g.bool().then(|| g.usize_in(1, NUM_KEYS as usize));
+
+            let mut reference = StreamingEngine::new(&model).with_halted_feed_dropping();
+            let mut windowed = StreamingEngine::new(&model).with_windowed_cache();
+            if let Some(limit) = limit {
+                reference = reference.with_max_active_keys(limit);
+                windowed = windowed.with_max_active_keys(limit);
+            }
+
+            let mut max_resident = 0usize;
+            for item in &tangled.items {
+                match (reference.feed(item), windowed.feed(item)) {
+                    (Ok(a), Ok(b)) => match (a, b) {
+                        (Some(a), Some(b)) => assert_bit_identical(&a, &b),
+                        (None, None) => {}
+                        (a, b) => panic!(
+                            "decision presence diverged at pos {}: ref={:?} win={:?}",
+                            item.time,
+                            a.map(|d| d.key),
+                            b.map(|d| d.key)
+                        ),
+                    },
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a, b, "both engines must reject identically");
+                        assert!(
+                            matches!(a, StreamError::ActiveKeyLimit { .. }),
+                            "only the key bound can fire here"
+                        );
+                    }
+                    (a, b) => panic!(
+                        "acceptance diverged at pos {}: ref={:?} win={:?}",
+                        item.time,
+                        a.map(|d| d.map(|d| d.key)),
+                        b.map(|d| d.map(|d| d.key))
+                    ),
+                }
+                // Occasionally force-classify a key mid-stream (flow-end
+                // retirement): the main driver of horizon advancement.
+                if g.u32_below(8) == 0 {
+                    let key = Key(g.u64() % NUM_KEYS);
+                    match (reference.halt_key(key), windowed.halt_key(key)) {
+                        (Some(a), Some(b)) => assert_bit_identical(&a, &b),
+                        (None, None) => {}
+                        _ => panic!("halt_key diverged for {key:?}"),
+                    }
+                }
+                max_resident = max_resident.max(windowed.cache_rows());
+                assert_eq!(
+                    windowed.cache_rows() + windowed.evicted_rows(),
+                    reference.cache_rows(),
+                    "evicted + resident must account for every accepted row"
+                );
+            }
+
+            let final_ref = reference.finish();
+            let final_win = windowed.finish();
+            assert_eq!(final_ref.len(), final_win.len());
+            for (a, b) in final_ref.iter().zip(&final_win) {
+                assert_bit_identical(a, b);
+            }
+            assert_eq!(windowed.cache_rows(), 0, "finish reclaims the cache");
+            assert_eq!(reference.halted_feed_drops(), windowed.halted_feed_drops());
+            assert_eq!(reference.items_seen(), windowed.items_seen());
+            assert!(
+                max_resident <= reference.cache_rows(),
+                "residency can never exceed the unbounded engine's rows"
+            );
+        },
+    );
+}
+
+#[test]
+fn eviction_fires_and_stays_bounded_when_keys_retire_at_a_boundary() {
+    // Deterministic boundary case: keys arrive in disjoint waves and are
+    // force-halted at each wave end, so the horizon jumps in steps that
+    // land exactly on compaction boundaries.
+    let schema = ValueSchema::new(vec!["session".into()], vec![2], 0);
+    let mut cfg = KvecConfig::tiny(&schema, 2);
+    cfg.halt_threshold = 1.0; // sigmoid stays below 1: waves control lifetime
+    let mut rng = KvecRng::seed_from_u64(42);
+    let model = KvecModel::new(&cfg, &mut rng);
+
+    let mut reference = StreamingEngine::new(&model).with_halted_feed_dropping();
+    let mut windowed = StreamingEngine::new(&model).with_windowed_cache();
+
+    let waves = 6usize;
+    let keys_per_wave = 2u64;
+    let items_per_key = 32usize; // wave span = 64 = the compaction minimum
+    let mut t = 0u64;
+    let mut max_resident = 0usize;
+    for wave in 0..waves {
+        let wave_keys: Vec<Key> = (0..keys_per_wave)
+            .map(|i| Key(wave as u64 * keys_per_wave + i))
+            .collect();
+        for round in 0..items_per_key {
+            for &key in &wave_keys {
+                let item = Item::new(key, vec![(round % 2) as u32], t);
+                t += 1;
+                let a = reference.feed(&item).unwrap();
+                let b = windowed.feed(&item).unwrap();
+                assert!(a.is_none() && b.is_none(), "threshold 1.0 never halts");
+                max_resident = max_resident.max(windowed.cache_rows());
+            }
+        }
+        for &key in &wave_keys {
+            let a = reference.halt_key(key).expect("key is live");
+            let b = windowed.halt_key(key).expect("key is live");
+            assert_bit_identical(&a, &b);
+        }
+    }
+    assert!(
+        windowed.evicted_rows() > 0,
+        "wave retirement must actually evict"
+    );
+    let wave_span = keys_per_wave as usize * items_per_key;
+    assert!(
+        max_resident <= 2 * wave_span + 64,
+        "resident rows ({max_resident}) must stay O(live wave), not O(stream)"
+    );
+    assert_eq!(reference.cache_rows(), t as usize, "reference never evicts");
+    assert!(reference.finish().is_empty() && windowed.finish().is_empty());
+    assert_eq!(windowed.cache_rows(), 0);
+}

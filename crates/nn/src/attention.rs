@@ -213,9 +213,32 @@ impl AttentionBlock {
         values: &Tensor,
         visible: &[usize],
     ) -> (Tensor, Vec<(usize, f32)>) {
+        self.attend_row_window(q_row, keys, values, visible, 0)
+    }
+
+    /// [`Self::attend_row`] over a *windowed* K/V cache: the caches hold
+    /// only rows from global position `base` onward (older rows were
+    /// evicted as dead), so visible index `j` lives at physical row
+    /// `j - base`. The arithmetic is untouched — the dots and
+    /// accumulations read the same bytes the unwindowed cache would hold,
+    /// so outputs are bit-identical to `attend_row` with `base = 0` on
+    /// the full cache. Returned weight indices stay global.
+    pub fn attend_row_window(
+        &self,
+        q_row: &Tensor,
+        keys: &Tensor,
+        values: &Tensor,
+        visible: &[usize],
+        base: usize,
+    ) -> (Tensor, Vec<(usize, f32)>) {
         assert!(
             !visible.is_empty(),
             "attend_row needs a non-empty visible set"
+        );
+        assert!(
+            visible[0] >= base,
+            "visible position {} already evicted (cache base {base})",
+            visible[0]
         );
         ATTN_ROW_CALLS.add(1);
         let t0 = kvec_obs::timer();
@@ -232,7 +255,7 @@ impl AttentionBlock {
             let (lo, hi) = (h * dh, (h + 1) * dh);
             let mut logits: Vec<f32> = visible
                 .iter()
-                .map(|&j| simd::dot_on(path, &q[lo..hi], &keys.row(j)[lo..hi]) * scale)
+                .map(|&j| simd::dot_on(path, &q[lo..hi], &keys.row(j - base)[lo..hi]) * scale)
                 .collect();
             let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
@@ -244,7 +267,12 @@ impl AttentionBlock {
             for ((&j, w), mw) in visible.iter().zip(&logits).zip(&mut mean_weights) {
                 let w = w * inv;
                 *mw += w / self.n_heads as f32;
-                simd::axpy_on(path, &mut out.data_mut()[lo..hi], w, &values.row(j)[lo..hi]);
+                simd::axpy_on(
+                    path,
+                    &mut out.data_mut()[lo..hi],
+                    w,
+                    &values.row(j - base)[lo..hi],
+                );
             }
         }
         let weights = visible.iter().copied().zip(mean_weights).collect();
@@ -425,6 +453,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn windowed_attend_row_is_bit_identical_to_full_cache() {
+        // Evicting a dead cache prefix must not perturb a single bit of
+        // the attended output: the windowed call reads the same row bytes
+        // at shifted physical indices.
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(41);
+        let blk = AttentionBlock::with_heads(&mut store, "w", 8, 16, 0.0, true, 2, &mut rng);
+        let x = Tensor::rand_uniform(10, 8, -1.0, 1.0, &mut rng);
+        let keys = blk.project_k(&store, &x);
+        let values = blk.project_v(&store, &x);
+        let q = blk.project_q(&store, &x.row_tensor(9));
+        // Query row 9 sees a sparse window that excludes old rows 0..4.
+        let visible = vec![4usize, 6, 7, 9];
+        let (full_out, full_w) = blk.attend_row(&q, &keys, &values, &visible);
+
+        for base in [1usize, 3, 4] {
+            let mut wkeys = keys.clone();
+            let mut wvalues = values.clone();
+            wkeys.drop_front_rows(base);
+            wvalues.drop_front_rows(base);
+            let (out, w) = blk.attend_row_window(&q, &wkeys, &wvalues, &visible, base);
+            assert_eq!(out.data(), full_out.data(), "base {base}: output differs");
+            assert_eq!(w, full_w, "base {base}: weights differ");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already evicted")]
+    fn windowed_attend_row_rejects_evicted_positions() {
+        let mut store = ParamStore::new();
+        let mut rng = KvecRng::seed_from_u64(42);
+        let blk = AttentionBlock::new(&mut store, "w", 4, 8, 0.0, true, &mut rng);
+        let x = Tensor::rand_uniform(4, 4, -1.0, 1.0, &mut rng);
+        let keys = blk.project_k(&store, &x);
+        let values = blk.project_v(&store, &x);
+        let q = blk.project_q(&store, &x.row_tensor(3));
+        let _ = blk.attend_row_window(&q, &keys, &values, &[1, 3], 2);
     }
 
     #[test]

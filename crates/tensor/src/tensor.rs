@@ -225,13 +225,46 @@ impl Tensor {
 
     /// Appends a row in place (amortized O(cols)). An empty tensor adopts
     /// the row's width; otherwise the width must match.
+    ///
+    /// Growth is explicit geometric doubling: a full buffer at least
+    /// doubles before the copy, so appending `n` rows one at a time costs
+    /// O(n·cols) total and O(log n) reallocations — never the O(n²)
+    /// memcpy a per-row reallocation would give a long-lived streaming
+    /// cache. Pinned by `push_row_reallocates_geometrically`.
     pub fn push_row(&mut self, row: &[f32]) {
         if self.rows == 0 {
             self.cols = row.len();
         }
         assert_eq!(row.len(), self.cols, "push_row width mismatch");
+        if self.data.capacity() < self.data.len() + row.len() {
+            self.data.reserve(self.data.len().max(row.len()));
+        }
         self.data.extend_from_slice(row);
         self.rows += 1;
+    }
+
+    /// Capacity of the backing buffer in elements (for growth-policy and
+    /// eviction bookkeeping; `capacity() >= len()` always).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Removes the first `n` rows in place, shifting the remainder down.
+    /// One O(remaining) memmove; the allocation is retained, so a
+    /// compact-then-append cycle (the streaming KV cache ring) never
+    /// reallocates. Panics when `n > rows`.
+    pub fn drop_front_rows(&mut self, n: usize) {
+        assert!(
+            n <= self.rows,
+            "drop_front_rows({n}) out of bounds (rows = {})",
+            self.rows
+        );
+        if n == 0 {
+            return;
+        }
+        self.data.drain(..n * self.cols);
+        self.rows -= n;
     }
 
     /// Reshapes in place; the element count must be preserved.
@@ -385,6 +418,67 @@ mod tests {
     #[should_panic]
     fn item_panics_on_matrix() {
         let _ = Tensor::zeros(2, 2).item();
+    }
+
+    #[test]
+    fn push_row_appends_and_adopts_width() {
+        let mut t = Tensor::zeros(0, 0);
+        t.push_row(&[1.0, 2.0]);
+        t.push_row(&[3.0, 4.0]);
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn push_row_reallocates_geometrically() {
+        // The streaming engine appends one K/V row per arrival for the
+        // life of the stream; a per-row reallocation would turn that into
+        // O(n²) memcpy. Count actual reallocations via capacity changes:
+        // geometric growth does at most ~log2(n) of them.
+        let cols = 7;
+        let n = 10_000usize;
+        let mut t = Tensor::zeros(0, 0);
+        let mut reallocs = 0usize;
+        let mut last_cap = t.capacity();
+        for i in 0..n {
+            t.push_row(&vec![i as f32; cols]);
+            if t.capacity() != last_cap {
+                reallocs += 1;
+                last_cap = t.capacity();
+            }
+        }
+        assert_eq!(t.shape(), (n, cols));
+        let bound = (n * cols).ilog2() as usize + 2;
+        assert!(
+            reallocs <= bound,
+            "{reallocs} reallocations over {n} pushes (bound {bound}): growth is not geometric"
+        );
+        // Geometric growth also must not overshoot absurdly.
+        assert!(t.capacity() <= 4 * n * cols, "capacity {}", t.capacity());
+    }
+
+    #[test]
+    fn drop_front_rows_shifts_and_keeps_allocation() {
+        let mut t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let cap = t.capacity();
+        t.drop_front_rows(2);
+        assert_eq!(t.shape(), (1, 2));
+        assert_eq!(t.data(), &[5.0, 6.0]);
+        assert_eq!(t.capacity(), cap, "compaction must retain the allocation");
+        // A follow-up append reuses the freed space without reallocating.
+        t.push_row(&[7.0, 8.0]);
+        assert_eq!(t.capacity(), cap);
+        assert_eq!(t.data(), &[5.0, 6.0, 7.0, 8.0]);
+        t.drop_front_rows(0);
+        assert_eq!(t.shape(), (2, 2));
+        t.drop_front_rows(2);
+        assert_eq!(t.shape(), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_front_rows")]
+    fn drop_front_rows_bounds_checked() {
+        Tensor::zeros(2, 3).drop_front_rows(3);
     }
 
     #[test]

@@ -42,12 +42,17 @@ fn check_summary(summary: &Json, what: &str) -> Result<(), String> {
     if !counters.iter().any(|(k, _)| k.starts_with("kernel.matmul")) {
         return Err(format!("{what}: no kernel.matmul timing counters"));
     }
-    if summary
-        .get("gauges")
-        .and_then(|g| g.get("stream.active_keys"))
-        .is_err()
-    {
-        return Err(format!("{what}: no stream.active_keys gauge"));
+    // The streaming engine must publish its key-liveness gauge and the
+    // bounded-memory pair (resident vs. evicted KV rows) on every run —
+    // the operational evidence that cache memory is accounted for.
+    for gauge in [
+        "stream.active_keys",
+        "stream.cache_rows",
+        "stream.evicted_rows",
+    ] {
+        if summary.get("gauges").and_then(|g| g.get(gauge)).is_err() {
+            return Err(format!("{what}: no {gauge} gauge"));
+        }
     }
     Ok(())
 }

@@ -1,0 +1,200 @@
+//! Long-stream soak: the windowed streaming engine must hold resident KV
+//! cache memory flat — O(live span), not O(stream length) — over 100k+
+//! arrivals while emitting decisions bit-identical to the unbounded
+//! (drop-only) engine on the same stream.
+//!
+//! Ignored by default (it feeds >200k items across two engines); CI runs
+//! it in release as a dedicated soak leg:
+//!
+//! ```text
+//! cargo test --release -q --test streaming_soak -- --ignored
+//! ```
+
+use kvec::streaming::{Decision, StreamingEngine};
+use kvec::{KvecConfig, KvecModel};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::{mixer, Item, Key};
+use kvec_obs::{self as obs, Config, Level, SinkConfig};
+use kvec_tensor::KvecRng;
+
+const GROUPS: usize = 520;
+const FLOWS_PER_GROUP: usize = 8;
+
+/// One long stream of `GROUPS` independently tangled traffic groups with
+/// globally distinct keys, plus the per-group key sets (each group's keys
+/// are force-halted when the group ends — flow-end retirement, the signal
+/// that lets the eviction horizon advance).
+fn soak_stream() -> (Vec<Item>, Vec<Vec<Key>>) {
+    let mut items = Vec::new();
+    let mut group_keys = Vec::new();
+    for g in 0..GROUPS {
+        let mut rng = KvecRng::seed_from_u64(1000 + g as u64);
+        let dcfg = TrafficConfig {
+            num_flows: FLOWS_PER_GROUP,
+            num_classes: 2,
+            mean_len: 25,
+            min_len: 20,
+            max_len: 30,
+            ..TrafficConfig::traffic_app(0)
+        };
+        let pool = generate_traffic(&dcfg, &mut rng);
+        let mut tangled = mixer::tangle_group(&pool, &mut rng);
+        let offset = (g * FLOWS_PER_GROUP) as u64;
+        let mut keys: Vec<Key> = Vec::new();
+        for item in &mut tangled.items {
+            item.key = Key(item.key.0 + offset);
+            if !keys.contains(&item.key) {
+                keys.push(item.key);
+            }
+        }
+        items.extend(tangled.items);
+        group_keys.push(keys);
+    }
+    (items, group_keys)
+}
+
+struct SoakRun {
+    decisions: Vec<Decision>,
+    max_resident: usize,
+    evicted: usize,
+    dropped: usize,
+}
+
+fn drive(
+    mut engine: StreamingEngine,
+    items: &[Item],
+    group_keys: &[Vec<Key>],
+    group_ends: &[usize],
+) -> SoakRun {
+    let mut decisions = Vec::new();
+    let mut max_resident = 0usize;
+    let mut next_group = 0usize;
+    for (pos, item) in items.iter().enumerate() {
+        if let Some(d) = engine.feed(item).expect("soak engine cannot fault") {
+            decisions.push(d);
+        }
+        max_resident = max_resident.max(engine.cache_rows());
+        if pos + 1 == group_ends[next_group] {
+            // Group over: every flow in it has ended; force-classify the
+            // stragglers so their rows become evictable.
+            for &key in &group_keys[next_group] {
+                if let Some(d) = engine.halt_key(key) {
+                    decisions.push(d);
+                }
+            }
+            next_group += 1;
+        }
+    }
+    decisions.extend(engine.finish());
+    SoakRun {
+        decisions,
+        max_resident,
+        evicted: engine.evicted_rows(),
+        dropped: engine.halted_feed_drops(),
+    }
+}
+
+#[test]
+#[ignore = "long soak; run via the CI soak leg or --ignored"]
+fn windowed_cache_stays_flat_over_100k_arrivals() {
+    let (items, group_keys) = soak_stream();
+    assert!(
+        items.len() >= 100_000,
+        "soak stream too short: {}",
+        items.len()
+    );
+    let mut group_ends = Vec::with_capacity(GROUPS);
+    let mut acc = 0usize;
+    let mut max_group_len = 0usize;
+    for keys in &group_keys {
+        // Per-group item count: contiguous slice layout by construction.
+        let len = items[acc..]
+            .iter()
+            .take_while(|i| keys.contains(&i.key))
+            .count();
+        acc += len;
+        max_group_len = max_group_len.max(len);
+        group_ends.push(acc);
+    }
+    assert_eq!(acc, items.len(), "groups must partition the stream");
+
+    let mut rng = KvecRng::seed_from_u64(7);
+    let dcfg = TrafficConfig {
+        num_flows: FLOWS_PER_GROUP,
+        num_classes: 2,
+        ..TrafficConfig::traffic_app(0)
+    };
+    let cfg = KvecConfig::tiny(&dcfg.schema(), 2);
+    let model = KvecModel::new(&cfg, &mut rng);
+
+    // Reference pass with observability off, so the shared gauges only
+    // see the windowed engine.
+    obs::configure(Config {
+        enabled: false,
+        level: Level::Info,
+        sink: SinkConfig::Stderr,
+    });
+    let reference = StreamingEngine::new(&model).with_halted_feed_dropping();
+    let ref_run = drive(reference, &items, &group_keys, &group_ends);
+
+    obs::configure(Config {
+        enabled: true,
+        level: Level::Info,
+        sink: SinkConfig::Memory,
+    });
+    obs::reset();
+    let windowed = StreamingEngine::new(&model).with_windowed_cache();
+    let win_run = drive(windowed, &items, &group_keys, &group_ends);
+
+    // Flat memory: residency is bounded by the live span (one group) plus
+    // the compaction hysteresis slack — two orders of magnitude below the
+    // stream length.
+    let bound = 2 * max_group_len + 128;
+    assert!(
+        win_run.max_resident <= bound,
+        "resident rows {} exceed the live-span bound {bound} (stream length {})",
+        win_run.max_resident,
+        items.len()
+    );
+    // The same bound must be visible operationally through the gauge.
+    let gauge_high_water = obs::metrics::gauge("stream.cache_rows").high_water() as usize;
+    assert!(
+        gauge_high_water <= bound && gauge_high_water > 0,
+        "stream.cache_rows high-water {gauge_high_water} out of range"
+    );
+    // Every arrival is accounted for: it either entered the cache and was
+    // eventually evicted (finish flushes the remainder) or was dropped as
+    // a halted-key feed. The policy halts most flows after a few items, so
+    // drops dominate — but evicted + dropped must cover the whole stream.
+    let gauge_evicted = obs::metrics::gauge("stream.evicted_rows").get() as usize;
+    assert_eq!(
+        gauge_evicted, win_run.evicted,
+        "gauge disagrees with engine"
+    );
+    assert_eq!(
+        win_run.evicted + win_run.dropped,
+        items.len(),
+        "eviction must keep pace with the stream"
+    );
+    assert!(win_run.evicted > 0, "soak must actually evict");
+    assert_eq!(ref_run.dropped, win_run.dropped);
+    assert_eq!(ref_run.evicted, 0, "reference engine never evicts");
+
+    // Decisions are bit-identical to the unbounded reference.
+    assert_eq!(ref_run.decisions.len(), win_run.decisions.len());
+    assert_eq!(ref_run.decisions.len(), GROUPS * FLOWS_PER_GROUP);
+    for (a, b) in ref_run.decisions.iter().zip(&win_run.decisions) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.pred, b.pred);
+        assert_eq!(a.n_items, b.n_items);
+        assert_eq!(a.global_pos, b.global_pos);
+        assert_eq!(a.halted_by_policy, b.halted_by_policy);
+        let bits = |p: &[f32]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.probs), bits(&b.probs));
+    }
+    obs::configure(Config {
+        enabled: false,
+        level: Level::Info,
+        sink: SinkConfig::Stderr,
+    });
+}
