@@ -80,7 +80,7 @@ fn drive(
         }
         if pos + 1 == group_ends[next_group].0 {
             for &key in &group_ends[next_group].1 {
-                if let Some(d) = engine.halt_key(key) {
+                if let Some(d) = engine.halt_key(key).expect("group key was fed") {
                     decisions.push(d);
                 }
             }

@@ -104,6 +104,101 @@ impl FaultInjector {
     }
 }
 
+/// A deterministic fault plan for the *serving* path (`kvec-serve`), the
+/// fourth fault family: where [`FaultInjector`] attacks the training
+/// loop, `ServeChaos` attacks the sharded streaming service. The plan is
+/// pure data — the service interprets it at precisely defined points of
+/// each shard worker's arrival loop, so a given plan reproduces the same
+/// fault schedule on every run:
+///
+/// - **worker kill** — the shard worker dies *between* arrivals (after
+///   completing local arrival `n-1`, before dequeuing arrival `n`),
+///   exercising supervisor respawn + journal replay with no item in
+///   flight;
+/// - **poison arrival** — processing local arrival `n` panics mid-feed,
+///   exercising quarantine (the arrival is written to a replayable JSONL
+///   file and excluded from replay);
+/// - **queue stall** — the worker sleeps before processing local arrival
+///   `n`, backing up its bounded queue so admission shedding and
+///   overload deadlines fire;
+/// - **deadline skew** — the shard's logical deadline clock is offset by
+///   a constant, modeling a skewed clock forcing decisions earlier or
+///   later than budgeted.
+///
+/// Arrival indices are 0-based and *local to the shard* (its processed
+/// count), which keeps them stable under respawn: a replayed journal
+/// restores the counter, so a fired fault does not re-fire.
+#[derive(Debug, Clone, Default)]
+pub struct ServeChaos {
+    kills: BTreeSet<(usize, u64)>,
+    poisons: BTreeSet<(usize, u64)>,
+    stalls: std::collections::BTreeMap<(usize, u64), u64>,
+    skews: std::collections::BTreeMap<usize, i64>,
+}
+
+impl ServeChaos {
+    /// An empty plan: no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a worker kill on `shard` immediately before it dequeues its
+    /// local arrival `n`.
+    pub fn kill_worker_at(mut self, shard: usize, n: u64) -> Self {
+        self.kills.insert((shard, n));
+        self
+    }
+
+    /// Arms a mid-feed panic while `shard` processes its local arrival
+    /// `n` (the arrival is quarantined, not replayed).
+    pub fn poison_at(mut self, shard: usize, n: u64) -> Self {
+        self.poisons.insert((shard, n));
+        self
+    }
+
+    /// Arms a consumption stall: `shard` sleeps `millis` before
+    /// processing its local arrival `n`.
+    pub fn stall_at(mut self, shard: usize, n: u64, millis: u64) -> Self {
+        self.stalls.insert((shard, n), millis);
+        self
+    }
+
+    /// Skews `shard`'s logical deadline clock by `ticks` (positive =
+    /// clock runs ahead, deadlines fire earlier).
+    pub fn skew_deadline(mut self, shard: usize, ticks: i64) -> Self {
+        self.skews.insert(shard, ticks);
+        self
+    }
+
+    /// Whether a kill is armed for (`shard`, local arrival `n`).
+    pub fn kill_fires(&self, shard: usize, n: u64) -> bool {
+        self.kills.contains(&(shard, n))
+    }
+
+    /// Whether a poison panic is armed for (`shard`, local arrival `n`).
+    pub fn poison_fires(&self, shard: usize, n: u64) -> bool {
+        self.poisons.contains(&(shard, n))
+    }
+
+    /// The stall duration armed for (`shard`, local arrival `n`), if any.
+    pub fn stall_millis(&self, shard: usize, n: u64) -> Option<u64> {
+        self.stalls.get(&(shard, n)).copied()
+    }
+
+    /// The deadline-clock skew for `shard` (0 when unskewed).
+    pub fn deadline_skew(&self, shard: usize) -> i64 {
+        self.skews.get(&shard).copied().unwrap_or(0)
+    }
+
+    /// Whether the plan contains any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+            && self.poisons.is_empty()
+            && self.stalls.is_empty()
+            && self.skews.is_empty()
+    }
+}
+
 /// XORs the byte at `offset` with `mask` (mask must be non-zero so the
 /// byte actually changes). For checkpoint-corruption tests.
 pub fn flip_byte(path: impl AsRef<Path>, offset: usize, mask: u8) -> io::Result<()> {
@@ -181,6 +276,25 @@ mod tests {
         };
         assert_eq!(pattern(7), pattern(7));
         assert_ne!(pattern(7), pattern(8), "different seeds, same pattern");
+    }
+
+    #[test]
+    fn serve_chaos_plan_fires_exactly_where_armed() {
+        let plan = ServeChaos::new()
+            .kill_worker_at(0, 5)
+            .poison_at(1, 3)
+            .stall_at(2, 7, 40)
+            .skew_deadline(1, -4);
+        assert!(!plan.is_empty());
+        assert!(plan.kill_fires(0, 5));
+        assert!(!plan.kill_fires(0, 4) && !plan.kill_fires(1, 5));
+        assert!(plan.poison_fires(1, 3));
+        assert!(!plan.poison_fires(0, 3));
+        assert_eq!(plan.stall_millis(2, 7), Some(40));
+        assert_eq!(plan.stall_millis(2, 6), None);
+        assert_eq!(plan.deadline_skew(1), -4);
+        assert_eq!(plan.deadline_skew(0), 0);
+        assert!(ServeChaos::new().is_empty());
     }
 
     #[test]

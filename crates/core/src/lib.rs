@@ -65,7 +65,7 @@ pub mod train;
 pub use cache::CacheWindow;
 pub use config::KvecConfig;
 pub use eval::{evaluate, EvalReport};
-pub use faults::FaultInjector;
+pub use faults::{FaultInjector, ServeChaos};
 pub use model::KvecModel;
 pub use streaming::{StreamError, StreamingEngine};
 pub use train::{BadStepReason, RecoveryEvent, TrainError, WatchdogConfig};

@@ -74,6 +74,14 @@ pub enum StreamError {
         /// The configured bound that would have been exceeded.
         limit: usize,
     },
+    /// [`StreamingEngine::halt_key`] named a key this engine has never
+    /// fed. A deadline enforcer or transport layer asking to force-halt a
+    /// key it mis-tracked is a caller bug worth surfacing, not a silent
+    /// success.
+    UnknownKey {
+        /// The key that was never seen.
+        key: Key,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -86,6 +94,9 @@ impl fmt::Display for StreamError {
                 f,
                 "feeding this item would exceed the active-key bound of {limit}"
             ),
+            StreamError::UnknownKey { key } => {
+                write!(f, "key {key:?} has never been fed to this engine")
+            }
         }
     }
 }
@@ -93,7 +104,7 @@ impl fmt::Display for StreamError {
 impl std::error::Error for StreamError {}
 
 /// The classification decision emitted when a sequence halts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
     /// The halted sequence's key.
     pub key: Key,
@@ -421,17 +432,42 @@ impl<'m> StreamingEngine<'m> {
         Ok(decision)
     }
 
-    /// Forces an immediate classification for one live key (e.g. the
-    /// transport layer reported the flow closed). Returns `None` when the
-    /// key is unknown or already halted; the emitted decision has
-    /// `halted_by_policy: false`. Under the bounded-memory modes this also
-    /// retires the key, letting the eviction horizon advance past its
-    /// rows.
-    pub fn halt_key(&mut self, key: Key) -> Option<Decision> {
-        let model = self.model;
-        let state = self.keys_state.get_mut(&key)?;
+    /// Tape-free look at a *live* key's current classifier posterior
+    /// without halting it: `(argmax class, class probabilities)` as
+    /// [`halt_key`](StreamingEngine::halt_key) would emit right now.
+    /// `None` for unknown or already-halted keys. This is what a serving
+    /// layer's load-shedding policy reads: a key whose posterior margin is
+    /// already decisive is the cheapest arrival to drop under pressure.
+    pub fn peek(&self, key: Key) -> Option<(usize, Vec<f32>)> {
+        let state = self.keys_state.get(&key)?;
         if state.halted || state.n_items == 0 {
             return None;
+        }
+        let (pred, probs) = self.model.classifier.predict(&self.model.store, &state.h);
+        Some((pred, probs.into_vec()))
+    }
+
+    /// Forces an immediate classification for one live key (e.g. the
+    /// transport layer reported the flow closed, or a deadline enforcer
+    /// is trading earliness for bounded latency). The emitted decision
+    /// has `halted_by_policy: false`. Under the bounded-memory modes this
+    /// also retires the key, letting the eviction horizon advance past
+    /// its rows.
+    ///
+    /// Halting a key that already halted — naturally or forced — is a
+    /// documented `Ok(None)` no-op: a deadline enforcer legitimately
+    /// races natural halts, and the first decision must stand. Naming a
+    /// key this engine has *never fed* returns
+    /// [`StreamError::UnknownKey`]: that is a caller bookkeeping bug, not
+    /// a race, and silently succeeding would hide it.
+    pub fn halt_key(&mut self, key: Key) -> Result<Option<Decision>, StreamError> {
+        let model = self.model;
+        let state = self
+            .keys_state
+            .get_mut(&key)
+            .ok_or(StreamError::UnknownKey { key })?;
+        if state.halted || state.n_items == 0 {
+            return Ok(None);
         }
         state.halted = true;
         let (pred, probs) = model.classifier.predict(&model.store, &state.h);
@@ -448,7 +484,7 @@ impl<'m> StreamingEngine<'m> {
         self.maintain_window();
         STREAM_HALTS.add(1);
         emit_decision(&decision);
-        Some(decision)
+        Ok(Some(decision))
     }
 
     /// Forces a classification for every still-active sequence (stream
@@ -790,10 +826,10 @@ mod tests {
         let key = fed_key.expect("fed at least one item");
         let live_before = engine.active_keys();
         let halted_before = engine.halted_count();
-        let Some(decision) = engine.halt_key(key) else {
+        let Some(decision) = engine.halt_key(key).unwrap() else {
             // The policy already halted this key on its own; forcing it
             // again must be a no-op.
-            assert!(engine.halt_key(key).is_none());
+            assert_eq!(engine.halt_key(key), Ok(None));
             return;
         };
         assert_eq!(decision.key, key);
@@ -801,15 +837,72 @@ mod tests {
         assert!(decision.n_items >= 1);
         assert_eq!(engine.active_keys(), live_before - 1);
         assert_eq!(engine.halted_count(), halted_before + 1);
-        assert!(engine.halt_key(key).is_none(), "second halt is a no-op");
+        assert_eq!(engine.halt_key(key), Ok(None), "second halt is a no-op");
         assert!(
             engine.finish().iter().all(|d| d.key != key),
             "finish must not re-emit a forced decision"
         );
-        assert!(
-            engine.halt_key(key).is_none(),
-            "unknown/halted after finish"
+        assert_eq!(engine.halt_key(key), Ok(None), "still halted after finish");
+    }
+
+    #[test]
+    fn halt_key_on_an_unknown_key_is_a_typed_error() {
+        let (model, tangled) = setup(11);
+        let mut engine = StreamingEngine::new(&model);
+        let fed = tangled.items[0].key;
+        engine.feed(&tangled.items[0]).unwrap();
+        // A key the engine has never seen must not silently "succeed":
+        // the deadline enforcer calling halt_key concurrently with
+        // natural halts needs to distinguish "already decided" (Ok(None),
+        // a benign race) from "never existed" (its own bookkeeping bug).
+        let ghost = Key(u64::MAX);
+        assert_ne!(ghost, fed);
+        let err = engine.halt_key(ghost).unwrap_err();
+        assert_eq!(err, StreamError::UnknownKey { key: ghost });
+        assert!(err.to_string().contains("never been fed"), "{err}");
+        // The failed call must not have perturbed any engine state.
+        assert_eq!(engine.tracked_keys(), 1);
+        assert_eq!(engine.halted_count(), 0);
+        // A live key force-halts fine, and a *repeat* force-halt is the
+        // documented Ok(None) no-op — not UnknownKey, not a decision.
+        assert!(engine.halt_key(fed).unwrap().is_some());
+        assert_eq!(engine.halt_key(fed), Ok(None));
+        // Unknown stays unknown even after finish.
+        engine.finish();
+        assert_eq!(
+            engine.halt_key(ghost),
+            Err(StreamError::UnknownKey { key: ghost })
         );
+    }
+
+    #[test]
+    fn peek_reads_the_live_posterior_without_halting() {
+        let (model, tangled) = setup(12);
+        let mut engine = StreamingEngine::new(&model);
+        assert!(engine.peek(tangled.items[0].key).is_none(), "nothing fed");
+        for item in tangled.items.iter().take(4) {
+            let _ = engine.feed(item).unwrap();
+        }
+        // Pick any key still live after the warmup (peek is None for the
+        // ones the policy already halted).
+        let live_key = tangled
+            .items
+            .iter()
+            .take(4)
+            .map(|i| i.key)
+            .find(|&k| engine.peek(k).is_some());
+        let Some(key) = live_key else { return };
+        let halted_before = engine.halted_count();
+        let (pred, probs) = engine.peek(key).expect("key is live");
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        // Peeking must not decide anything.
+        assert_eq!(engine.halted_count(), halted_before, "peek must not halt");
+        // The forced decision must be exactly what peek promised.
+        let d = engine.halt_key(key).unwrap().expect("key was live");
+        assert_eq!(d.pred, pred);
+        let bits = |p: &[f32]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&d.probs), bits(&probs));
+        assert!(engine.peek(key).is_none(), "halted keys have no posterior");
     }
 
     #[test]

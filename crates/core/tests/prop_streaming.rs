@@ -108,8 +108,15 @@ fn windowed_engine_is_bit_identical_to_unbounded_drop_engine() {
                 if g.u32_below(8) == 0 {
                     let key = Key(g.u64() % NUM_KEYS);
                     match (reference.halt_key(key), windowed.halt_key(key)) {
-                        (Some(a), Some(b)) => assert_bit_identical(&a, &b),
-                        (None, None) => {}
+                        (Ok(Some(a)), Ok(Some(b))) => assert_bit_identical(&a, &b),
+                        (Ok(None), Ok(None)) => {}
+                        (Err(a), Err(b)) => {
+                            assert_eq!(a, b, "both engines must reject identically");
+                            assert!(
+                                matches!(a, StreamError::UnknownKey { .. }),
+                                "only an unknown key can fail halt_key here"
+                            );
+                        }
                         _ => panic!("halt_key diverged for {key:?}"),
                     }
                 }
@@ -134,6 +141,81 @@ fn windowed_engine_is_bit_identical_to_unbounded_drop_engine() {
                 max_resident <= reference.cache_rows(),
                 "residency can never exceed the unbounded engine's rows"
             );
+        },
+    );
+}
+
+#[test]
+fn all_three_guards_stacked_match_the_drop_only_engine() {
+    // The three memory guards — `with_max_active_keys`, halted-feed
+    // dropping, and the windowed cache — were only property-tested
+    // pairwise before. Stack all three explicitly (the serving layer's
+    // production configuration) against a drop-only engine with the same
+    // key bound: every acceptance verdict, decision bit, and counter must
+    // still agree, and forced halts through `halt_key` must behave
+    // identically under the stack.
+    check_n(
+        "all_three_guards_stacked_match_the_drop_only_engine",
+        30,
+        |g| {
+            let tangled = gen_stream(g);
+            let model = gen_model(g);
+            let limit = g.usize_in(1, NUM_KEYS as usize);
+
+            let mut reference = StreamingEngine::new(&model)
+                .with_halted_feed_dropping()
+                .with_max_active_keys(limit);
+            let mut stacked = StreamingEngine::new(&model)
+                .with_halted_feed_dropping()
+                .with_windowed_cache()
+                .with_max_active_keys(limit);
+
+            for item in &tangled.items {
+                match (reference.feed(item), stacked.feed(item)) {
+                    (Ok(Some(a)), Ok(Some(b))) => assert_bit_identical(&a, &b),
+                    (Ok(None), Ok(None)) => {}
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a, b, "rejections must agree under the stack");
+                        assert!(matches!(a, StreamError::ActiveKeyLimit { .. }));
+                    }
+                    (a, b) => panic!(
+                        "stacked engine diverged at pos {}: ref={:?} stacked={:?}",
+                        item.time,
+                        a.map(|d| d.map(|d| d.key)),
+                        b.map(|d| d.map(|d| d.key)),
+                    ),
+                }
+                // Forced halts (the deadline enforcer's path) interleaved
+                // with natural halts; unknown keys must fail identically.
+                if g.u32_below(6) == 0 {
+                    let key = Key(g.u64() % (NUM_KEYS * 2));
+                    match (reference.halt_key(key), stacked.halt_key(key)) {
+                        (Ok(Some(a)), Ok(Some(b))) => assert_bit_identical(&a, &b),
+                        (Ok(None), Ok(None)) => {}
+                        (Err(a), Err(b)) => {
+                            assert_eq!(a, b);
+                            assert!(matches!(a, StreamError::UnknownKey { .. }));
+                        }
+                        _ => panic!("halt_key diverged for {key:?} under the stack"),
+                    }
+                }
+                assert!(
+                    stacked.cache_rows() <= reference.cache_rows(),
+                    "the windowed guard must never hold more rows than drop-only"
+                );
+                assert!(stacked.tracked_keys() <= limit, "key bound must hold");
+            }
+
+            let final_ref = reference.finish();
+            let final_stk = stacked.finish();
+            assert_eq!(final_ref.len(), final_stk.len());
+            for (a, b) in final_ref.iter().zip(&final_stk) {
+                assert_bit_identical(a, b);
+            }
+            assert_eq!(stacked.cache_rows(), 0, "finish reclaims the cache");
+            assert_eq!(reference.halted_feed_drops(), stacked.halted_feed_drops());
+            assert_eq!(reference.tracked_keys(), stacked.tracked_keys());
+            assert_eq!(reference.items_seen(), stacked.items_seen());
         },
     );
 }
@@ -172,8 +254,8 @@ fn eviction_fires_and_stays_bounded_when_keys_retire_at_a_boundary() {
             }
         }
         for &key in &wave_keys {
-            let a = reference.halt_key(key).expect("key is live");
-            let b = windowed.halt_key(key).expect("key is live");
+            let a = reference.halt_key(key).unwrap().expect("key is live");
+            let b = windowed.halt_key(key).unwrap().expect("key is live");
             assert_bit_identical(&a, &b);
         }
     }

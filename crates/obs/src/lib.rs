@@ -45,7 +45,7 @@ pub mod span;
 
 mod sink;
 
-pub use metrics::{Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram};
+pub use metrics::{Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram, Percentiles};
 pub use span::{span, span_at, Span};
 
 use kvec_json::Json;

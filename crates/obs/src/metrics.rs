@@ -275,6 +275,19 @@ impl Histogram {
         self.max()
     }
 
+    /// The p50/p95/p99 triple every latency report wants, in one
+    /// snapshot — so a serving layer can export decision-latency
+    /// percentiles programmatically instead of re-parsing the metrics
+    /// file. Each value carries [`quantile`](Histogram::quantile)'s
+    /// one-bucket-width error bound; all NaN when empty.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
     /// The registered name.
     pub fn name(&self) -> &'static str {
         self.name
@@ -289,6 +302,18 @@ impl Histogram {
         self.min_bits.store(f64::INFINITY.to_bits(), Relaxed);
         self.max_bits.store(f64::NEG_INFINITY.to_bits(), Relaxed);
     }
+}
+
+/// A point-in-time p50/p95/p99 snapshot of a [`Histogram`] (see
+/// [`Histogram::percentiles`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
 }
 
 // ---------------------------------------------------------------------------
@@ -568,6 +593,46 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert!(h.mean().is_nan());
         assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn percentiles_match_a_sorted_vec_oracle() {
+        // Seeded LCG stream spanning several octaves, checked against the
+        // exact order statistics of the sorted sample. The contract is the
+        // documented one-bucket-width relative error (2^(1/SUB_BUCKETS)).
+        let h = Histogram::new("t.pctl.oracle");
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut vals = Vec::new();
+        for _ in 0..5000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Magnitudes from ~1e-3 to ~1e6.
+            let v = ((x >> 11) as f64 / (1u64 << 53) as f64) * 30.0 - 10.0;
+            let v = v.exp2();
+            h.record(v);
+            vals.push(v);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tol = (1.0f64 / SUB_BUCKETS as f64).exp2(); // one bucket width
+        let p = h.percentiles();
+        for (q, got) in [(0.50, p.p50), (0.95, p.p95), (0.99, p.p99)] {
+            let exact = vals[(q * (vals.len() - 1) as f64).floor() as usize];
+            let ratio = got / exact;
+            assert!(
+                ratio > 1.0 / tol && ratio < tol,
+                "p{}: estimate {got} vs exact {exact} (ratio {ratio})",
+                (q * 100.0) as u32
+            );
+        }
+        // The convenience must be exactly the three quantile calls.
+        assert_eq!(p.p50, h.quantile(0.50));
+        assert_eq!(p.p95, h.quantile(0.95));
+        assert_eq!(p.p99, h.quantile(0.99));
+        // Empty histograms stay well-defined.
+        let e = Histogram::new("t.pctl.empty");
+        let pe = e.percentiles();
+        assert!(pe.p50.is_nan() && pe.p95.is_nan() && pe.p99.is_nan());
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! The typed admission ladder: every submitted arrival gets an explicit
+//! verdict, so overload behavior is an API contract instead of an
+//! emergent property.
+//!
+//! The ladder, evaluated against the target shard's queue depth:
+//!
+//! 1. depth < `delay_watermark` → [`Admission::Admitted`];
+//! 2. depth < `shed_watermark` → [`Admission::Delayed`] (admitted, but
+//!    the caller is told to slow down — the cheap backpressure signal);
+//! 3. depth < `queue_capacity` → feeds for keys whose posterior margin
+//!    already clears `confident_margin` are shed
+//!    ([`ShedReason::ConfidentKey`]): the paper's earliness principle
+//!    applied to load shedding — an arrival that can no longer change a
+//!    near-certain decision is the cheapest work to drop. Fresh or
+//!    uncertain keys are still admitted ([`Admission::Delayed`]);
+//! 4. depth ≥ `queue_capacity` → everything is shed
+//!    ([`ShedReason::QueueFull`]).
+
+/// Why an arrival was shed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShedReason {
+    /// The shard queue is at capacity: nothing can be admitted.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The shard is past its shed watermark and this key's classifier
+    /// posterior is already decisive (margin = top-1 minus top-2
+    /// probability; decided keys report an infinite margin), so dropping
+    /// this feed costs (almost) nothing.
+    ConfidentKey {
+        /// The key's posterior margin at shed time.
+        margin: f32,
+    },
+}
+
+/// The verdict for one submitted arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Enqueued on a healthy shard.
+    Admitted {
+        /// The shard the arrival was routed to.
+        shard: usize,
+    },
+    /// Enqueued, but the shard is past its delay watermark: the producer
+    /// should back off (the typed backpressure signal).
+    Delayed {
+        /// The shard the arrival was routed to.
+        shard: usize,
+        /// The shard queue depth after the push.
+        queue_depth: usize,
+    },
+    /// Not enqueued.
+    Shed {
+        /// Why the arrival was dropped.
+        reason: ShedReason,
+    },
+}
+
+impl Admission {
+    /// Whether the arrival entered a queue (admitted or delayed).
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self, Admission::Shed { .. })
+    }
+}
+
+/// Watermark parameters of the ladder (a copy of the relevant
+/// [`crate::ServeConfig`] fields, so the policy is a pure function).
+#[derive(Debug, Clone, Copy)]
+pub struct Watermarks {
+    /// Queue capacity (hard limit).
+    pub capacity: usize,
+    /// Depth at which admitted arrivals are flagged [`Admission::Delayed`].
+    pub delay: usize,
+    /// Depth at which confident-key shedding begins.
+    pub shed: usize,
+    /// Posterior margin above which a key counts as already confident.
+    pub confident_margin: f32,
+}
+
+/// The pure admission policy: given the target shard's current `depth`,
+/// the ladder's watermarks, and the key's last published posterior margin
+/// (`None` for a fresh key), decide the verdict. `shard` is only echoed
+/// into the admitted variants. The caller still has to win the actual
+/// `try_push` — a concurrent producer may take the last slot — in which
+/// case the verdict degrades to [`ShedReason::QueueFull`].
+pub fn admission_verdict(
+    shard: usize,
+    depth: usize,
+    w: &Watermarks,
+    key_margin: Option<f32>,
+) -> Admission {
+    if depth >= w.capacity {
+        return Admission::Shed {
+            reason: ShedReason::QueueFull {
+                capacity: w.capacity,
+            },
+        };
+    }
+    if depth >= w.shed {
+        if let Some(margin) = key_margin {
+            if margin > w.confident_margin {
+                return Admission::Shed {
+                    reason: ShedReason::ConfidentKey { margin },
+                };
+            }
+        }
+    }
+    if depth >= w.delay {
+        Admission::Delayed {
+            shard,
+            queue_depth: depth + 1,
+        }
+    } else {
+        Admission::Admitted { shard }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: Watermarks = Watermarks {
+        capacity: 8,
+        delay: 4,
+        shed: 6,
+        confident_margin: 0.8,
+    };
+
+    #[test]
+    fn ladder_rungs_fire_in_order() {
+        // Healthy: plain admission regardless of confidence.
+        assert_eq!(
+            admission_verdict(2, 0, &W, Some(0.99)),
+            Admission::Admitted { shard: 2 }
+        );
+        assert_eq!(
+            admission_verdict(2, 3, &W, None),
+            Admission::Admitted { shard: 2 }
+        );
+        // Past the delay watermark: admitted but flagged.
+        assert_eq!(
+            admission_verdict(1, 4, &W, None),
+            Admission::Delayed {
+                shard: 1,
+                queue_depth: 5
+            }
+        );
+        // Past the shed watermark: confident keys are dropped first...
+        assert_eq!(
+            admission_verdict(0, 6, &W, Some(0.95)),
+            Admission::Shed {
+                reason: ShedReason::ConfidentKey { margin: 0.95 }
+            }
+        );
+        // ...while fresh and uncertain keys are still admitted.
+        assert_eq!(
+            admission_verdict(0, 6, &W, None),
+            Admission::Delayed {
+                shard: 0,
+                queue_depth: 7
+            }
+        );
+        assert_eq!(
+            admission_verdict(0, 7, &W, Some(0.5)),
+            Admission::Delayed {
+                shard: 0,
+                queue_depth: 8
+            }
+        );
+        // At capacity: everything is shed, even a fresh key.
+        assert_eq!(
+            admission_verdict(0, 8, &W, None),
+            Admission::Shed {
+                reason: ShedReason::QueueFull { capacity: 8 }
+            }
+        );
+    }
+
+    #[test]
+    fn margin_at_threshold_is_not_confident() {
+        // Strictly-greater: a margin exactly at the threshold still gets
+        // through (shedding must err toward keeping data).
+        assert!(admission_verdict(0, 6, &W, Some(0.8)).is_admitted());
+        // Decided keys publish an infinite margin: always shed past the
+        // watermark.
+        assert!(!admission_verdict(0, 6, &W, Some(f32::INFINITY)).is_admitted());
+    }
+
+    #[test]
+    fn confidence_is_ignored_below_the_shed_watermark() {
+        for depth in 0..6 {
+            assert!(
+                admission_verdict(0, depth, &W, Some(f32::INFINITY)).is_admitted(),
+                "depth {depth}: healthy shards must not shed confident keys"
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The serving layer's observability instruments (`kvec-obs`).
+//!
+//! Four of these are *required* by `validate_trace --serve` on any traced
+//! serving run: `serve.queue_depth`, `serve.shed_total`,
+//! `serve.forced_halts`, and `serve.worker_restarts` — the minimum
+//! evidence that backpressure, degradation, and recovery are being
+//! accounted for. Counters here mirror (but never replace) the exact
+//! per-service [`crate::ServeStats`]: obs metrics are process-global and
+//! may be disabled, so tests assert on stats, operators read metrics.
+
+use kvec_obs::{LazyCounter, LazyGauge, LazyHistogram};
+
+/// Depth of the shard queue last touched (set on every submit and on
+/// every supervisor poll with the total across shards; the high-water
+/// mark is the backlog a deployment must provision for).
+pub static QUEUE_DEPTH: LazyGauge = LazyGauge::new("serve.queue_depth");
+/// Arrivals submitted to the router, admitted or not.
+pub static SUBMITTED: LazyCounter = LazyCounter::new("serve.submitted");
+/// Arrivals that entered a shard queue (includes delayed ones).
+pub static ADMITTED: LazyCounter = LazyCounter::new("serve.admitted");
+/// Admitted arrivals flagged `Delayed` (the backpressure signal).
+pub static DELAYED: LazyCounter = LazyCounter::new("serve.delayed");
+/// Arrivals shed for any reason (queue full or confident key).
+pub static SHED_TOTAL: LazyCounter = LazyCounter::new("serve.shed_total");
+/// Sheds at queue capacity.
+pub static SHED_QUEUE_FULL: LazyCounter = LazyCounter::new("serve.shed_queue_full");
+/// Sheds of already-confident keys past the shed watermark.
+pub static SHED_CONFIDENT: LazyCounter = LazyCounter::new("serve.shed_confident");
+/// Keys force-classified by the deadline enforcer (graceful degradation:
+/// overload becomes earlier decisions, not unbounded latency).
+pub static FORCED_HALTS: LazyCounter = LazyCounter::new("serve.forced_halts");
+/// Shard workers respawned after a crash.
+pub static WORKER_RESTARTS: LazyCounter = LazyCounter::new("serve.worker_restarts");
+/// Arrivals quarantined because processing them killed a worker.
+pub static QUARANTINED: LazyCounter = LazyCounter::new("serve.quarantined");
+/// Arrivals successfully fed into a shard engine.
+pub static PROCESSED: LazyCounter = LazyCounter::new("serve.processed");
+/// Arrivals for already-decided keys dropped at the worker.
+pub static LATE_DROPS: LazyCounter = LazyCounter::new("serve.late_drops");
+/// Admitted arrivals the engine refused (e.g. the active-key bound).
+pub static ENGINE_REJECTS: LazyCounter = LazyCounter::new("serve.engine_rejects");
+/// Decisions emitted (each key decides exactly once).
+pub static DECISIONS: LazyCounter = LazyCounter::new("serve.decisions");
+/// Shards observed wedged (heartbeat stalled with a non-empty queue).
+pub static WEDGE_EVENTS: LazyCounter = LazyCounter::new("serve.wedge_events");
+/// Sum of worker heartbeats (processed messages), sampled by the
+/// supervisor — a flat line with non-empty queues means a wedged fleet.
+pub static WORKER_HEARTBEAT: LazyGauge = LazyGauge::new("serve.worker_heartbeat");
+/// Microseconds from the deciding message's enqueue (or, for
+/// deadline-forced halts, from the key's first pending arrival) to the
+/// decision. Percentiles exported via `Histogram::percentiles`.
+pub static DECISION_LATENCY_US: LazyHistogram = LazyHistogram::new("serve.decision_latency_us");
+
+/// Forces registration of every serve instrument. Called at service
+/// start so traced runs export them even at zero — a healthy run has no
+/// restarts, and an *absent* `serve.worker_restarts` counter would be
+/// indistinguishable from a broken pipeline (`validate_trace --serve`
+/// requires the explicit zero).
+pub fn register_all() {
+    for c in [
+        &SUBMITTED,
+        &ADMITTED,
+        &DELAYED,
+        &SHED_TOTAL,
+        &SHED_QUEUE_FULL,
+        &SHED_CONFIDENT,
+        &FORCED_HALTS,
+        &WORKER_RESTARTS,
+        &QUARANTINED,
+        &PROCESSED,
+        &LATE_DROPS,
+        &ENGINE_REJECTS,
+        &DECISIONS,
+        &WEDGE_EVENTS,
+    ] {
+        c.add(0);
+    }
+    QUEUE_DEPTH.set(0.0);
+    WORKER_HEARTBEAT.set(0.0);
+    // DECISION_LATENCY_US is *not* pre-registered: a zero sample would
+    // skew percentiles, and a serving run that decided nothing should
+    // fail validation rather than masquerade as healthy.
+}

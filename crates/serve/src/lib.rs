@@ -1,0 +1,78 @@
+//! kvec-serve: a resilient, key-hash-sharded serving runtime for the
+//! early classifier.
+//!
+//! The training stack produces a [`kvec::KvecModel`]; this crate turns
+//! it into a *service* that survives contact with production traffic:
+//!
+//! - **Sharding** — arrivals are routed by key hash to one of N workers,
+//!   each owning a private [`kvec::StreamingEngine`]. All messages of a
+//!   key stay on one shard, so per-key incremental state never crosses a
+//!   thread and fault-free per-shard output is bit-identical to a
+//!   single-threaded engine (the determinism contract, pinned by
+//!   `tests/serve_chaos.rs`).
+//! - **Backpressure & load shedding** — a typed admission ladder
+//!   ([`Admission`]) driven by queue-depth watermarks; past the shed
+//!   watermark, keys whose posterior is already decisive are dropped
+//!   first ([`ShedReason::ConfidentKey`]): the cheapest arrival to lose
+//!   is one that can no longer change a decision.
+//! - **Graceful degradation** — deadline budgets (logical ticks, with an
+//!   optional tighter overload budget and a wall-clock safety net) force
+//!   early classification of the longest-pending keys instead of letting
+//!   latency grow without bound.
+//! - **Fault isolation & recovery** — a supervisor respawns crashed
+//!   workers, quarantines the arrival that killed them (JSONL,
+//!   replayable), and the new worker rebuilds its engine bit-exactly
+//!   from a journal of applied mutations; decisions are delivered
+//!   exactly once per key across restarts.
+//! - **Chaos** — [`kvec::ServeChaos`] arms deterministic faults (worker
+//!   kills, poison arrivals, queue stalls, deadline clock skew) that are
+//!   interpreted by the same worker loop production runs.
+//!
+//! ```no_run
+//! use kvec_serve::{ServeConfig, ShardedService};
+//! # fn model() -> kvec::KvecModel { unimplemented!() }
+//! let svc = ShardedService::start(model(), ServeConfig::default());
+//! // feed arrivals, possibly from many producer threads:
+//! // svc.submit(item); svc.submit_flow_end(key);
+//! let report = svc.shutdown();
+//! println!("{} decisions, {:?}", report.decisions.len(), report.stats);
+//! ```
+
+mod admission;
+mod instruments;
+mod queue;
+mod service;
+mod worker;
+
+pub use admission::{admission_verdict, Admission, ShedReason, Watermarks};
+pub use queue::{BoundedQueue, Pop};
+pub use service::{
+    shard_of_key, QuarantineRecord, ServeConfig, ServeReport, ServeStats, ShardedService,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvec_data::Key;
+
+    #[test]
+    fn sharding_is_stable_and_spreads_sequential_keys() {
+        for shards in [1, 2, 4, 7] {
+            let mut hit = vec![0usize; shards];
+            for k in 0..1000u64 {
+                let s = shard_of_key(Key(k), shards);
+                assert_eq!(s, shard_of_key(Key(k), shards), "routing must be pure");
+                hit[s] += 1;
+            }
+            for (i, &n) in hit.iter().enumerate() {
+                // Sequential ids must avalanche: no shard starved or
+                // doubly loaded (1000/shards ± 40%).
+                let fair = 1000 / shards;
+                assert!(
+                    n > fair * 6 / 10 && n < fair * 14 / 10,
+                    "shard {i}/{shards} got {n} of 1000 sequential keys"
+                );
+            }
+        }
+    }
+}

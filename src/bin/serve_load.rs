@@ -1,0 +1,253 @@
+//! Load generator for the sharded serving runtime: regenerates
+//! `BENCH_serving.json`.
+//!
+//! Measures the service's saturation throughput (arrivals offered as
+//! fast as a producer can push them), then replays the same tangled
+//! traffic at paced fractions of that rate (0.5×, 1×, 2×) and records
+//! how the admission ladder, deadline enforcer, and decision latency
+//! respond — the overload-degradation curve the serving layer promises:
+//! sheds and earlier decisions instead of unbounded queues.
+//!
+//! ```text
+//! cargo run --release -p kvec-repro --bin serve_load [-- --quick] [--out PATH]
+//! ```
+//!
+//! With the observability env vars set (`KVEC_TRACE_FILE`,
+//! `KVEC_METRICS_FILE`, ...) this doubles as the traced serving run that
+//! `validate_trace --serve` gates in CI.
+
+use kvec::{KvecConfig, KvecModel};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::{mixer, Item, Key};
+use kvec_json::{Json, ToJson};
+use kvec_obs as obs;
+use kvec_serve::{ServeConfig, ServeStats, ShardedService};
+use kvec_tensor::KvecRng;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+
+fn traffic_cfg() -> TrafficConfig {
+    TrafficConfig {
+        num_flows: 8,
+        num_classes: 2,
+        mean_len: 25,
+        min_len: 20,
+        max_len: 30,
+        ..TrafficConfig::traffic_app(0)
+    }
+}
+
+/// The tangled stream plus each group's key set (flow-ended when the
+/// group has fully arrived, as upstream FINs would).
+fn load_stream(groups: usize) -> (Vec<Item>, Vec<(usize, Vec<Key>)>) {
+    let dcfg = traffic_cfg();
+    let mut items = Vec::new();
+    let mut group_ends = Vec::new();
+    for g in 0..groups {
+        let mut rng = KvecRng::seed_from_u64(3000 + g as u64);
+        let pool = generate_traffic(&dcfg, &mut rng);
+        let mut tangled = mixer::tangle_group(&pool, &mut rng);
+        let offset = (g * dcfg.num_flows) as u64;
+        let mut keys = Vec::new();
+        for item in &mut tangled.items {
+            item.key = Key(item.key.0 + offset);
+            if !keys.contains(&item.key) {
+                keys.push(item.key);
+            }
+        }
+        items.extend(tangled.items);
+        group_ends.push((items.len(), keys));
+    }
+    (items, group_ends)
+}
+
+fn model() -> KvecModel {
+    let cfg = KvecConfig::tiny(&traffic_cfg().schema(), 2);
+    KvecModel::new(&cfg, &mut KvecRng::seed_from_u64(77))
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        shards: SHARDS,
+        queue_capacity: 256,
+        delay_watermark: 64,
+        shed_watermark: 128,
+        confident_margin: 0.5,
+        deadline_ticks: Some(64),
+        overload_deadline_ticks: Some(16),
+        wall_deadline: Some(Duration::from_millis(250)),
+        ..ServeConfig::default()
+    }
+}
+
+struct PointReport {
+    label: String,
+    offered_per_s: f64,
+    elapsed_s: f64,
+    stats: ServeStats,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+impl PointReport {
+    fn to_json(&self) -> Json {
+        let s = &self.stats;
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("offered_per_s", self.offered_per_s.to_json()),
+            ("elapsed_s", self.elapsed_s.to_json()),
+            ("submitted", s.submitted.to_json()),
+            ("admitted", s.admitted.to_json()),
+            ("delayed", s.delayed.to_json()),
+            ("shed_queue_full", s.shed_queue_full.to_json()),
+            ("shed_confident", s.shed_confident.to_json()),
+            ("processed", s.processed.to_json()),
+            ("late_drops", s.late_drops.to_json()),
+            ("forced_halts", s.forced_halts.to_json()),
+            ("decisions", s.decisions.to_json()),
+            (
+                "shed_fraction",
+                (s.shed_total() as f64 / s.submitted.max(1) as f64).to_json(),
+            ),
+            ("decision_latency_p50_us", self.p50_us.to_json()),
+            ("decision_latency_p95_us", self.p95_us.to_json()),
+            ("decision_latency_p99_us", self.p99_us.to_json()),
+        ])
+    }
+}
+
+/// Drives one run: submits every item (and each group's flow ends once
+/// the group has fully arrived), pacing to `rate` arrivals/s when given
+/// (`None` = as fast as possible). Returns the point report.
+fn drive(
+    label: &str,
+    items: &[Item],
+    group_ends: &[(usize, Vec<Key>)],
+    rate: Option<f64>,
+) -> PointReport {
+    obs::metrics::reset_all();
+    let _span = obs::span("serve.load_point");
+    let svc = ShardedService::start(model(), serve_config());
+    let t0 = Instant::now();
+    let mut next_group = 0usize;
+    for (pos, item) in items.iter().enumerate() {
+        if let Some(r) = rate {
+            let due = t0 + Duration::from_secs_f64(pos as f64 / r);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        svc.submit(item.clone());
+        while next_group < group_ends.len() && pos + 1 == group_ends[next_group].0 {
+            for &key in &group_ends[next_group].1 {
+                svc.submit_flow_end(key);
+            }
+            next_group += 1;
+        }
+    }
+    let report = svc.shutdown();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let p = obs::metrics::histogram("serve.decision_latency_us").percentiles();
+    let stats = report.stats;
+    assert_eq!(
+        stats.submitted,
+        stats.arrivals_accounted(),
+        "{label}: accounting identity violated"
+    );
+    println!(
+        "{label}: {} arrivals in {elapsed:.2}s ({:.0}/s offered), \
+         {} decisions, {} shed ({:.1}%), {} forced halts, p99 {:.0}us",
+        stats.submitted,
+        stats.submitted as f64 / elapsed,
+        stats.decisions,
+        stats.shed_total(),
+        100.0 * stats.shed_total() as f64 / stats.submitted.max(1) as f64,
+        stats.forced_halts,
+        p.p99
+    );
+    PointReport {
+        label: label.to_string(),
+        offered_per_s: stats.submitted as f64 / elapsed,
+        elapsed_s: elapsed,
+        stats,
+        p50_us: p.p50,
+        p95_us: p.p95,
+        p99_us: p.p99,
+    }
+}
+
+fn main() {
+    // Latency percentiles come from the obs histogram; when the run is
+    // not being traced via the env vars, enable the in-memory sink so the
+    // metrics still record (otherwise every percentile is NaN).
+    if [
+        "KVEC_LOG",
+        "KVEC_TRACE_FILE",
+        "KVEC_METRICS_FILE",
+        "KVEC_CHROME_TRACE",
+    ]
+    .iter()
+    .all(|v| std::env::var_os(v).is_none())
+    {
+        obs::configure(obs::Config {
+            enabled: true,
+            level: obs::Level::Info,
+            sink: obs::SinkConfig::Memory,
+        });
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+
+    let groups = if quick { 24 } else { 160 };
+    let (items, group_ends) = load_stream(groups);
+    println!(
+        "stream: {} arrivals, {} groups x {} flows, {} shards",
+        items.len(),
+        groups,
+        traffic_cfg().num_flows,
+        SHARDS
+    );
+
+    // Saturation: offered as fast as the producer can push. The service
+    // sheds what it cannot absorb; the *processed* rate is its capacity.
+    let sat = drive("saturation", &items, &group_ends, None);
+    let capacity_per_s = sat.stats.processed as f64 / sat.elapsed_s.max(1e-9);
+
+    // Paced points around capacity: under, at, and 2x over.
+    let mut points = Vec::new();
+    for (label, factor) in [("load_0.5x", 0.5), ("load_1x", 1.0), ("load_2x", 2.0)] {
+        let rate = (capacity_per_s * factor).max(1.0);
+        points.push(drive(label, &items, &group_ends, Some(rate)));
+    }
+
+    let doc = Json::obj([
+        (
+            "generated_by",
+            "cargo run --release -p kvec-repro --bin serve_load".to_json(),
+        ),
+        ("quick", quick.to_json()),
+        (
+            "stream",
+            Json::obj([
+                ("arrivals", items.len().to_json()),
+                ("groups", groups.to_json()),
+                ("flows_per_group", traffic_cfg().num_flows.to_json()),
+                ("shards", SHARDS.to_json()),
+            ]),
+        ),
+        ("saturation", sat.to_json()),
+        ("estimated_capacity_per_s", capacity_per_s.to_json()),
+        ("paced", Json::arr(points.iter().map(PointReport::to_json))),
+    ]);
+    std::fs::write(&out, doc.dump_pretty()).expect("write report");
+    println!("wrote {out}");
+    obs::finish();
+}

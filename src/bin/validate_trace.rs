@@ -2,7 +2,7 @@
 //! observability layer).
 //!
 //! ```text
-//! validate_trace <run.jsonl> [<run.trace> [<metrics.json>]]
+//! validate_trace [--serve] <run.jsonl> [<run.trace> [<metrics.json>]]
 //! ```
 //!
 //! Every file must round-trip through `kvec-json`, and the JSONL log must
@@ -12,9 +12,24 @@
 //! timings. Watchdog events are validated structurally when present (a
 //! healthy run has none). Exits non-zero with a message on the first
 //! failure.
+//!
+//! `--serve` validates a *serving* run (e.g. `serve_load`) instead:
+//! training records are not expected, and the summary must instead carry
+//! the serving layer's overload-accounting instruments — the
+//! `serve.queue_depth` gauge and the `serve.shed_total`,
+//! `serve.forced_halts` and `serve.worker_restarts` counters — the
+//! minimum operational evidence that backpressure, degradation, and
+//! recovery are observable.
 
 use kvec_json::Json;
 use std::process::ExitCode;
+
+/// What kind of run the artifacts are expected to describe.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Train,
+    Serve,
+}
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("validate_trace: FAIL: {msg}");
@@ -23,7 +38,10 @@ fn fail(msg: &str) -> ExitCode {
 
 /// The summary object checks shared by the `metrics.summary` JSONL event
 /// and the standalone `KVEC_METRICS_FILE` export.
-fn check_summary(summary: &Json, what: &str) -> Result<(), String> {
+fn check_summary(summary: &Json, what: &str, mode: Mode) -> Result<(), String> {
+    if mode == Mode::Serve {
+        return check_serve_summary(summary, what);
+    }
     let hist = summary
         .get("histograms")
         .and_then(|h| h.get("train.halt_step"))
@@ -57,7 +75,47 @@ fn check_summary(summary: &Json, what: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn check_jsonl(path: &str) -> Result<(), String> {
+/// A serving run must account for overload end to end: queue depth (the
+/// backpressure signal), sheds (load dropped on purpose), forced halts
+/// (latency bought with earliness), and worker restarts (recovery).
+fn check_serve_summary(summary: &Json, what: &str) -> Result<(), String> {
+    if summary
+        .get("gauges")
+        .and_then(|g| g.get("serve.queue_depth"))
+        .is_err()
+    {
+        return Err(format!("{what}: no serve.queue_depth gauge"));
+    }
+    let counters = summary
+        .get("counters")
+        .and_then(|c| c.as_obj())
+        .map_err(|_| format!("{what}: no counters object"))?;
+    for counter in [
+        "serve.shed_total",
+        "serve.forced_halts",
+        "serve.worker_restarts",
+    ] {
+        if !counters.iter().any(|(k, _)| k == counter) {
+            return Err(format!("{what}: no {counter} counter"));
+        }
+    }
+    let latency = summary
+        .get("histograms")
+        .and_then(|h| h.get("serve.decision_latency_us"))
+        .map_err(|_| format!("{what}: no serve.decision_latency_us histogram"))?;
+    let count = latency
+        .get("count")
+        .and_then(|c| c.as_f64())
+        .map_err(|_| format!("{what}: serve.decision_latency_us has no count"))?;
+    if count < 1.0 {
+        return Err(format!(
+            "{what}: serve.decision_latency_us is empty (no decisions recorded)"
+        ));
+    }
+    Ok(())
+}
+
+fn check_jsonl(path: &str, mode: Mode) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut epochs = 0usize;
     let mut spans = 0usize;
@@ -111,7 +169,7 @@ fn check_jsonl(path: &str) -> Result<(), String> {
                         let summary = fields
                             .get("summary")
                             .map_err(|_| format!("{path}:{}: summary event empty", i + 1))?;
-                        check_summary(summary, path)?;
+                        check_summary(summary, path, mode)?;
                         summary_ok = true;
                     }
                     _ => {}
@@ -121,7 +179,7 @@ fn check_jsonl(path: &str) -> Result<(), String> {
             other => return Err(format!("{path}:{}: unknown kind {other}", i + 1)),
         }
     }
-    if epochs == 0 {
+    if mode == Mode::Train && epochs == 0 {
         return Err(format!("{path}: no train.epoch events"));
     }
     if spans == 0 {
@@ -136,7 +194,13 @@ fn check_jsonl(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn check_chrome(path: &str) -> Result<(), String> {
+fn check_chrome(path: &str, mode: Mode) -> Result<(), String> {
+    // The counter track that proves the run's key gauge made it into the
+    // profile: key liveness for training runs, queue depth for serving.
+    let want_track = match mode {
+        Mode::Train => "stream.active_keys",
+        Mode::Serve => "serve.queue_depth",
+    };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
     let events = doc
@@ -165,7 +229,7 @@ fn check_chrome(path: &str) -> Result<(), String> {
             }
             "C" => {
                 counters += 1;
-                if ev.get("name").and_then(|n| n.as_str()).ok() == Some("stream.active_keys") {
+                if ev.get("name").and_then(|n| n.as_str()).ok() == Some(want_track) {
                     saw_active_keys = true;
                 }
             }
@@ -177,36 +241,42 @@ fn check_chrome(path: &str) -> Result<(), String> {
         return Err(format!("{path}: no complete (X) span events"));
     }
     if !saw_active_keys {
-        return Err(format!("{path}: no stream.active_keys counter track"));
+        return Err(format!("{path}: no {want_track} counter track"));
     }
     println!("{path}: OK ({complete} spans, {counters} counter samples)");
     Ok(())
 }
 
-fn check_metrics(path: &str) -> Result<(), String> {
+fn check_metrics(path: &str, mode: Mode) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    check_summary(&doc, path)?;
+    check_summary(&doc, path, mode)?;
     println!("{path}: OK");
     Ok(())
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = if let Some(i) = args.iter().position(|a| a == "--serve") {
+        args.remove(i);
+        Mode::Serve
+    } else {
+        Mode::Train
+    };
     if args.is_empty() || args.len() > 3 {
-        eprintln!("usage: validate_trace <run.jsonl> [<run.trace> [<metrics.json>]]");
+        eprintln!("usage: validate_trace [--serve] <run.jsonl> [<run.trace> [<metrics.json>]]");
         return ExitCode::FAILURE;
     }
-    if let Err(e) = check_jsonl(&args[0]) {
+    if let Err(e) = check_jsonl(&args[0], mode) {
         return fail(&e);
     }
     if let Some(trace) = args.get(1) {
-        if let Err(e) = check_chrome(trace) {
+        if let Err(e) = check_chrome(trace, mode) {
             return fail(&e);
         }
     }
     if let Some(metrics) = args.get(2) {
-        if let Err(e) = check_metrics(metrics) {
+        if let Err(e) = check_metrics(metrics, mode) {
             return fail(&e);
         }
     }

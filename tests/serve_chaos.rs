@@ -1,0 +1,515 @@
+//! Chaos suite for the sharded serving runtime (`kvec-serve`).
+//!
+//! Every test drives the *production* worker loop — faults are armed
+//! through [`ServeChaos`] and interpreted by the same code that serves
+//! real traffic. The invariants:
+//!
+//! - **Determinism**: fault-free (and kill-only) runs produce per-shard
+//!   decision streams bit-identical to a single-threaded
+//!   [`StreamingEngine`] fed the shard's item subsequence.
+//! - **Accounting**: after shutdown, every submitted arrival has exactly
+//!   one disposition — `submitted == shed + processed + late_drops +
+//!   engine_rejected + quarantined`.
+//! - **Exactly-once**: no key ever receives two decisions, across load
+//!   shedding, deadline storms, worker crashes, and respawn replay.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use kvec::streaming::{Decision, StreamingEngine};
+use kvec::{KvecConfig, KvecModel, ServeChaos};
+use kvec_data::synth::{generate_traffic, TrafficConfig};
+use kvec_data::{mixer, Item, Key};
+use kvec_serve::{shard_of_key, QuarantineRecord, ServeConfig, ServeStats, ShardedService};
+use kvec_tensor::KvecRng;
+
+const SHARDS: usize = 4;
+
+fn traffic_cfg() -> TrafficConfig {
+    TrafficConfig {
+        num_flows: 6,
+        num_classes: 2,
+        mean_len: 25,
+        min_len: 20,
+        max_len: 30,
+        ..TrafficConfig::traffic_app(0)
+    }
+}
+
+/// A tangled stream of `groups` independently mixed traffic groups with
+/// globally distinct keys (same construction as the streaming soak).
+fn stream(groups: usize) -> Vec<Item> {
+    let dcfg = traffic_cfg();
+    let mut items = Vec::new();
+    for g in 0..groups {
+        let mut rng = KvecRng::seed_from_u64(4000 + g as u64);
+        let pool = generate_traffic(&dcfg, &mut rng);
+        let mut tangled = mixer::tangle_group(&pool, &mut rng);
+        let offset = (g * dcfg.num_flows) as u64;
+        for item in &mut tangled.items {
+            item.key = Key(item.key.0 + offset);
+        }
+        items.extend(tangled.items);
+    }
+    items
+}
+
+/// Fresh model from a fixed seed: two calls give bit-identical weights,
+/// which is how the service and the reference engine share a model.
+fn model() -> KvecModel {
+    let cfg = KvecConfig::tiny(&traffic_cfg().schema(), 2);
+    KvecModel::new(&cfg, &mut KvecRng::seed_from_u64(77))
+}
+
+/// A ServeConfig that cannot shed: queues hold the whole stream.
+fn no_shed_config(stream_len: usize) -> ServeConfig {
+    let cap = stream_len.max(16);
+    ServeConfig {
+        shards: SHARDS,
+        queue_capacity: cap,
+        delay_watermark: cap,
+        shed_watermark: cap,
+        ..ServeConfig::default()
+    }
+}
+
+/// Single-threaded per-shard reference: each shard's item subsequence
+/// fed, in submission order, to an engine with the worker's exact guard
+/// configuration, then `finish()`ed.
+fn reference_decisions(items: &[Item]) -> Vec<Vec<Decision>> {
+    let model = model();
+    (0..SHARDS)
+        .map(|s| {
+            let mut engine = StreamingEngine::new(&model)
+                .with_halted_feed_dropping()
+                .with_windowed_cache();
+            let mut out = Vec::new();
+            for item in items.iter().filter(|i| shard_of_key(i.key, SHARDS) == s) {
+                if let Some(d) = engine.feed(item).expect("reference cannot fault") {
+                    out.push(d);
+                }
+            }
+            out.extend(engine.finish());
+            out
+        })
+        .collect()
+}
+
+fn by_shard(decisions: Vec<Decision>) -> Vec<Vec<Decision>> {
+    let mut per: Vec<Vec<Decision>> = (0..SHARDS).map(|_| Vec::new()).collect();
+    for d in decisions {
+        per[shard_of_key(d.key, SHARDS)].push(d);
+    }
+    per
+}
+
+fn assert_bit_identical(got: &[Vec<Decision>], want: &[Vec<Decision>]) {
+    let bits = |p: &[f32]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    for s in 0..SHARDS {
+        assert_eq!(
+            got[s].len(),
+            want[s].len(),
+            "shard {s}: decision count diverged"
+        );
+        for (a, b) in got[s].iter().zip(&want[s]) {
+            assert_eq!(a.key, b.key, "shard {s}: decision order diverged");
+            assert_eq!(a.pred, b.pred);
+            assert_eq!(a.n_items, b.n_items);
+            assert_eq!(a.global_pos, b.global_pos);
+            assert_eq!(a.halted_by_policy, b.halted_by_policy);
+            assert_eq!(bits(&a.probs), bits(&b.probs), "shard {s}: probs drifted");
+        }
+    }
+}
+
+fn assert_exactly_once(decisions: &[Decision]) {
+    let mut seen = BTreeSet::new();
+    for d in decisions {
+        assert!(seen.insert(d.key), "key {:?} decided twice", d.key);
+    }
+}
+
+fn assert_accounting(stats: &ServeStats) {
+    assert_eq!(
+        stats.submitted,
+        stats.arrivals_accounted(),
+        "arrival accounting leak: {stats:?}"
+    );
+}
+
+fn unique_keys(items: &[Item]) -> BTreeSet<Key> {
+    items.iter().map(|i| i.key).collect()
+}
+
+#[test]
+fn fault_free_run_is_bit_identical_to_single_threaded_shards() {
+    let items = stream(8);
+    let svc = ShardedService::start(model(), no_shed_config(items.len()));
+    for item in &items {
+        assert!(
+            svc.submit(item.clone()).is_admitted(),
+            "nothing may shed below the watermarks"
+        );
+    }
+    let report = svc.shutdown();
+
+    assert_accounting(&report.stats);
+    assert_eq!(report.stats.submitted, items.len() as u64);
+    assert_eq!(report.stats.shed_total(), 0);
+    assert_eq!(report.stats.worker_restarts, 0);
+    assert_eq!(report.stats.forced_halts, 0);
+    assert_eq!(
+        report.stats.processed + report.stats.late_drops,
+        items.len() as u64
+    );
+    assert_exactly_once(&report.decisions);
+    assert_eq!(
+        report.decisions.len(),
+        unique_keys(&items).len(),
+        "every fed key decides exactly once"
+    );
+    assert_bit_identical(&by_shard(report.decisions), &reference_decisions(&items));
+}
+
+#[test]
+fn killed_worker_respawns_replays_and_loses_nothing() {
+    let items = stream(8);
+    // Kill the busiest shard's worker right before its 6th arrival.
+    let mut load = [0usize; SHARDS];
+    for item in &items {
+        load[shard_of_key(item.key, SHARDS)] += 1;
+    }
+    let victim = (0..SHARDS).max_by_key(|&s| load[s]).unwrap();
+    assert!(load[victim] > 6, "victim shard must still have work to do");
+    let chaos = ServeChaos::new().kill_worker_at(victim, 5);
+
+    let svc = ShardedService::with_chaos(model(), no_shed_config(items.len()), chaos);
+    for item in &items {
+        assert!(svc.submit(item.clone()).is_admitted());
+    }
+    let report = svc.shutdown();
+
+    assert_eq!(report.stats.worker_restarts, 1, "exactly one respawn");
+    assert_eq!(
+        report.stats.quarantined, 0,
+        "a kill between arrivals has nothing in flight to quarantine"
+    );
+    assert_accounting(&report.stats);
+    assert_exactly_once(&report.decisions);
+    // The replayed engine reconstructs state bit-exactly: decisions match
+    // the fault-free reference as if the crash never happened.
+    assert_bit_identical(&by_shard(report.decisions), &reference_decisions(&items));
+}
+
+#[test]
+fn poison_arrival_is_quarantined_and_round_trips_through_jsonl() {
+    let items = stream(6);
+    let mut load = [0usize; SHARDS];
+    for item in &items {
+        load[shard_of_key(item.key, SHARDS)] += 1;
+    }
+    let victim = (0..SHARDS).max_by_key(|&s| load[s]).unwrap();
+    // The poison is the 4th message this shard dequeues == the 4th
+    // submitted item routed to it (single producer, FIFO queue).
+    let expected_poison = items
+        .iter()
+        .filter(|i| shard_of_key(i.key, SHARDS) == victim)
+        .nth(3)
+        .unwrap()
+        .clone();
+    let qpath = std::env::temp_dir().join(format!("kvec-quarantine-{}.jsonl", std::process::id()));
+    let cfg = ServeConfig {
+        quarantine_path: Some(qpath.clone()),
+        ..no_shed_config(items.len())
+    };
+    let chaos = ServeChaos::new().poison_at(victim, 3);
+
+    let svc = ShardedService::with_chaos(model(), cfg, chaos);
+    for item in &items {
+        assert!(svc.submit(item.clone()).is_admitted());
+    }
+    let report = svc.shutdown();
+
+    assert_eq!(report.stats.worker_restarts, 1);
+    assert_eq!(report.stats.quarantined, 1);
+    assert_accounting(&report.stats);
+    assert_eq!(report.quarantined.len(), 1);
+    let rec = &report.quarantined[0];
+    assert_eq!(rec.shard, victim);
+    assert_eq!(rec.item, expected_poison, "wrong arrival quarantined");
+    assert!(rec.error.contains("poison"), "panic message preserved");
+
+    // The JSONL file is the replayable artifact: one line, decodes to the
+    // same record.
+    let text = std::fs::read_to_string(&qpath).expect("quarantine file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1);
+    let decoded: QuarantineRecord = kvec_json::decode(lines[0]).expect("line decodes");
+    assert_eq!(&decoded, rec);
+    let _ = std::fs::remove_file(&qpath);
+
+    // The poisoned key still decides (its other arrivals were fed); no
+    // key decides twice; nothing is silently lost.
+    assert_exactly_once(&report.decisions);
+    assert_eq!(report.decisions.len(), unique_keys(&items).len());
+}
+
+#[test]
+fn stalled_shard_sheds_under_pressure_and_accounting_balances() {
+    let items = stream(6);
+    // Tiny queues + a 300ms stall on shard 0's 3rd arrival: the backlog
+    // behind the stall must shed, and the supervisor must notice the flat
+    // heartbeat (wedge detection) without restarting a healthy worker.
+    let cfg = ServeConfig {
+        shards: SHARDS,
+        queue_capacity: 8,
+        delay_watermark: 2,
+        shed_watermark: 4,
+        confident_margin: 0.5,
+        wedge_timeout: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let chaos = ServeChaos::new().stall_at(0, 2, 300);
+    let svc = ShardedService::with_chaos(model(), cfg, chaos);
+    let mut delayed = 0u64;
+    for item in &items {
+        if matches!(
+            svc.submit(item.clone()),
+            kvec_serve::Admission::Delayed { .. }
+        ) {
+            delayed += 1;
+        }
+    }
+    let report = svc.shutdown();
+
+    assert_accounting(&report.stats);
+    assert!(
+        report.stats.shed_total() > 0,
+        "a stalled shard with capacity 8 must shed: {:?}",
+        report.stats
+    );
+    assert_eq!(report.stats.delayed, delayed);
+    assert_eq!(
+        report.stats.worker_restarts, 0,
+        "a stall is slow, not dead: no respawn"
+    );
+    assert!(
+        report.stats.wedge_events >= 1,
+        "the 300ms stall must trip the 50ms wedge detector"
+    );
+    assert_exactly_once(&report.decisions);
+    // Every decided key was actually fed at least once.
+    let fed_keys = unique_keys(&items);
+    for d in &report.decisions {
+        assert!(fed_keys.contains(&d.key));
+    }
+}
+
+#[test]
+fn deadline_storm_forces_early_decisions_for_longest_pending_keys() {
+    let items = stream(8);
+    let cfg = ServeConfig {
+        deadline_ticks: Some(12),
+        overload_deadline_ticks: Some(4),
+        ..no_shed_config(items.len())
+    };
+    // Skew every shard's deadline clock forward: decisions must come even
+    // earlier, and nothing may double-fire or leak.
+    let mut chaos = ServeChaos::new();
+    for s in 0..SHARDS {
+        chaos = chaos.skew_deadline(s, 2);
+    }
+    let svc = ShardedService::with_chaos(model(), cfg, chaos);
+    for item in &items {
+        assert!(svc.submit(item.clone()).is_admitted());
+    }
+    let report = svc.shutdown();
+
+    assert_accounting(&report.stats);
+    assert!(
+        report.stats.forced_halts > 0,
+        "a 12-tick budget over tangled flows must force halts: {:?}",
+        report.stats
+    );
+    assert_exactly_once(&report.decisions);
+    assert_eq!(
+        report.decisions.len(),
+        unique_keys(&items).len(),
+        "deadline enforcement must not lose keys"
+    );
+    // Forced keys decided strictly before their full sequence arrived:
+    // earliness bought with the deadline budget.
+    let mut seq_len: BTreeMap<Key, usize> = BTreeMap::new();
+    for item in &items {
+        *seq_len.entry(item.key).or_default() += 1;
+    }
+    let early = report
+        .decisions
+        .iter()
+        .filter(|d| d.n_items < seq_len[&d.key])
+        .count();
+    assert!(early > 0, "some decisions must be early under deadlines");
+}
+
+#[test]
+fn wall_clock_safety_net_decides_keys_whose_stream_goes_silent() {
+    let items = stream(2);
+    let head = &items[..40];
+    let cfg = ServeConfig {
+        wall_deadline: Some(Duration::from_millis(30)),
+        ..no_shed_config(items.len())
+    };
+    let svc = ShardedService::start(model(), cfg);
+    for item in head {
+        assert!(svc.submit(item.clone()).is_admitted());
+    }
+    // The stream goes silent: only idle polls remain. Wall deadlines must
+    // flush every pending key without any further arrivals.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = svc.stats();
+        if stats.decisions as usize == unique_keys(head).len() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "wall deadline never flushed the silent keys: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = svc.shutdown();
+    assert!(report.stats.forced_halts > 0, "{:?}", report.stats);
+    assert_accounting(&report.stats);
+    assert_exactly_once(&report.decisions);
+}
+
+#[test]
+fn flow_end_forces_classification_through_the_queue() {
+    let items = stream(4);
+    let keys = unique_keys(&items);
+    let svc = ShardedService::start(model(), no_shed_config(items.len()));
+    for item in &items {
+        assert!(svc.submit(item.clone()).is_admitted());
+    }
+    for &key in &keys {
+        assert!(svc.submit_flow_end(key).is_admitted());
+    }
+    // All decisions must arrive from the flow ends alone — before
+    // shutdown's finish() sweep.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut decisions = Vec::new();
+    while decisions.len() < keys.len() {
+        decisions.extend(svc.drain_decisions());
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flow ends must decide every key ({}/{})",
+            decisions.len(),
+            keys.len()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let report = svc.shutdown();
+    assert!(report.decisions.is_empty(), "nothing left for finish()");
+    assert_eq!(report.stats.flow_ends, keys.len() as u64);
+    assert_eq!(report.stats.flow_ends_shed, 0);
+    decisions.extend(report.decisions);
+    assert_exactly_once(&decisions);
+    assert_eq!(decisions.len(), keys.len());
+    assert_accounting(&report.stats);
+}
+
+/// Overload soak: ≥100k arrivals hammered into tiny queues with tight
+/// deadlines and confident-key shedding. The service must stay up
+/// (no deadlock, no unbounded queues), account for every arrival, and
+/// keep decision latency bounded. Ignored by default; CI runs it in
+/// release as part of the serve leg:
+///
+/// ```text
+/// cargo test --release -q --test serve_chaos -- --ignored
+/// ```
+#[test]
+#[ignore = "long overload soak; run via the CI serve leg or --ignored"]
+fn overload_soak_degrades_gracefully_over_100k_arrivals() {
+    use kvec_obs::{self as obs, Config, Level, SinkConfig};
+
+    let dcfg = traffic_cfg();
+    let groups = 700;
+    let mut all_items = Vec::new();
+    let mut group_keys: Vec<Vec<Key>> = Vec::new();
+    for g in 0..groups {
+        let mut rng = KvecRng::seed_from_u64(9000 + g as u64);
+        let pool = generate_traffic(&dcfg, &mut rng);
+        let mut tangled = mixer::tangle_group(&pool, &mut rng);
+        let offset = (g * dcfg.num_flows) as u64;
+        let mut keys = Vec::new();
+        for item in &mut tangled.items {
+            item.key = Key(item.key.0 + offset);
+            if !keys.contains(&item.key) {
+                keys.push(item.key);
+            }
+        }
+        group_keys.push(keys);
+        all_items.push(tangled.items);
+    }
+    let total: usize = all_items.iter().map(Vec::len).sum();
+    assert!(total >= 100_000, "soak stream too short: {total}");
+
+    obs::configure(Config {
+        enabled: true,
+        level: Level::Warn,
+        sink: SinkConfig::Memory,
+    });
+    obs::reset();
+
+    let cfg = ServeConfig {
+        shards: SHARDS,
+        queue_capacity: 64,
+        delay_watermark: 16,
+        shed_watermark: 32,
+        confident_margin: 0.3,
+        deadline_ticks: Some(64),
+        overload_deadline_ticks: Some(16),
+        wall_deadline: Some(Duration::from_millis(250)),
+        ..ServeConfig::default()
+    };
+    let svc = ShardedService::start(model(), cfg);
+    let mut max_depth = 0usize;
+    for (items, keys) in all_items.iter().zip(&group_keys) {
+        for item in items {
+            svc.submit(item.clone());
+        }
+        // Flow-end retirement, as upstream capture would signal FINs.
+        for &key in keys {
+            svc.submit_flow_end(key);
+        }
+        max_depth = max_depth.max(svc.queue_depth());
+    }
+    let report = svc.shutdown();
+
+    assert_accounting(&report.stats);
+    assert_eq!(report.stats.submitted, total as u64);
+    assert!(
+        max_depth <= SHARDS * 64,
+        "queues breached their bound: {max_depth}"
+    );
+    assert!(
+        report.stats.shed_total() > 0,
+        "overload must shed: {:?}",
+        report.stats
+    );
+    assert_exactly_once(&report.decisions);
+    assert!(report.stats.worker_restarts == 0 && report.stats.quarantined == 0);
+
+    // Bounded tail latency: graceful degradation means overload turns
+    // into sheds and earlier decisions, never into unbounded waiting.
+    let p = obs::metrics::histogram("serve.decision_latency_us").percentiles();
+    assert!(
+        p.p99.is_finite() && p.p99 < 10_000_000.0,
+        "p99 decision latency unbounded: {p:?}"
+    );
+    obs::configure(Config {
+        enabled: false,
+        level: Level::Info,
+        sink: SinkConfig::Stderr,
+    });
+}

@@ -78,7 +78,7 @@ fn drive(
             // Group over: every flow in it has ended; force-classify the
             // stragglers so their rows become evictable.
             for &key in &group_keys[next_group] {
-                if let Some(d) = engine.halt_key(key) {
+                if let Some(d) = engine.halt_key(key).expect("group key was fed") {
                     decisions.push(d);
                 }
             }
