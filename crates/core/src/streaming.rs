@@ -36,7 +36,7 @@ use crate::mask::MaskBuilder;
 use crate::model::KvecModel;
 use kvec_data::{Item, Key, TangledSequence};
 use kvec_json::Json;
-use kvec_obs::{self as obs, LazyCounter, LazyGauge, Level};
+use kvec_obs::{self as obs, FlowCtx, LazyCounter, LazyGauge, Level};
 use kvec_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -301,6 +301,20 @@ impl<'m> StreamingEngine<'m> {
     /// already [`finish`](StreamingEngine::finish)ed or the item would
     /// start a sequence beyond the active-key bound.
     pub fn feed(&mut self, item: &Item) -> Result<Option<Decision>, StreamError> {
+        self.feed_traced(item, &FlowCtx::inactive())
+    }
+
+    /// [`feed`](StreamingEngine::feed) with a caller-supplied flow trace
+    /// context: any decision this item triggers is emitted with the
+    /// flow's `trace_id`, linking the engine-level `stream.decision`
+    /// record to the serving layer's `flow.*` span chain. Passing
+    /// [`FlowCtx::inactive`] (what `feed` does) is the untraced path and
+    /// costs one branch.
+    pub fn feed_traced(
+        &mut self,
+        item: &Item,
+        ctx: &FlowCtx,
+    ) -> Result<Option<Decision>, StreamError> {
         if self.finished {
             return Err(StreamError::Finished);
         }
@@ -425,7 +439,7 @@ impl<'m> StreamingEngine<'m> {
             };
             self.note_halt(item.key);
             STREAM_HALTS.add(1);
-            emit_decision(&d);
+            emit_decision(&d, ctx);
             decision = Some(d);
         }
         self.maintain_window();
@@ -461,6 +475,16 @@ impl<'m> StreamingEngine<'m> {
     /// [`StreamError::UnknownKey`]: that is a caller bookkeeping bug, not
     /// a race, and silently succeeding would hide it.
     pub fn halt_key(&mut self, key: Key) -> Result<Option<Decision>, StreamError> {
+        self.halt_key_traced(key, &FlowCtx::inactive())
+    }
+
+    /// [`halt_key`](StreamingEngine::halt_key) with a flow trace context
+    /// — see [`feed_traced`](StreamingEngine::feed_traced).
+    pub fn halt_key_traced(
+        &mut self,
+        key: Key,
+        ctx: &FlowCtx,
+    ) -> Result<Option<Decision>, StreamError> {
         let model = self.model;
         let state = self
             .keys_state
@@ -483,7 +507,7 @@ impl<'m> StreamingEngine<'m> {
         self.note_halt(key);
         self.maintain_window();
         STREAM_HALTS.add(1);
-        emit_decision(&decision);
+        emit_decision(&decision, ctx);
         Ok(Some(decision))
     }
 
@@ -517,7 +541,7 @@ impl<'m> StreamingEngine<'m> {
             };
             halted_keys.push(key);
             STREAM_HALTS.add(1);
-            emit_decision(&decision);
+            emit_decision(&decision, &FlowCtx::inactive());
             decisions.push(decision);
         }
         for key in halted_keys {
@@ -591,22 +615,24 @@ impl<'m> StreamingEngine<'m> {
     }
 }
 
-/// Debug-level record of one emitted [`Decision`].
-fn emit_decision(d: &Decision) {
+/// Debug-level record of one emitted [`Decision`]. Carries the flow's
+/// `trace_id` when the caller fed through the traced entry points, so a
+/// trace reader can join engine decisions to serving-layer span chains.
+fn emit_decision(d: &Decision, ctx: &FlowCtx) {
     if !obs::event_enabled(Level::Debug) {
         return;
     }
-    obs::event(
-        Level::Debug,
-        "stream.decision",
-        &[
-            ("key", Json::Int(d.key.0 as i128)),
-            ("pred", Json::Int(d.pred as i128)),
-            ("n_items", Json::Int(d.n_items as i128)),
-            ("global_pos", Json::Int(d.global_pos as i128)),
-            ("halted_by_policy", Json::Bool(d.halted_by_policy)),
-        ],
-    );
+    let mut fields = vec![
+        ("key", Json::Int(d.key.0 as i128)),
+        ("pred", Json::Int(d.pred as i128)),
+        ("n_items", Json::Int(d.n_items as i128)),
+        ("global_pos", Json::Int(d.global_pos as i128)),
+        ("halted_by_policy", Json::Bool(d.halted_by_policy)),
+    ];
+    if ctx.is_active() {
+        fields.push(("trace_id", Json::Int(ctx.trace_id as i128)));
+    }
+    obs::event(Level::Debug, "stream.decision", &fields);
 }
 
 #[cfg(test)]

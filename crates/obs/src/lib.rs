@@ -42,11 +42,18 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod trace_ctx;
+pub mod window;
 
 mod sink;
 
 pub use metrics::{Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram, Percentiles};
 pub use span::{span, span_at, Span};
+pub use trace_ctx::{FlowCtx, FlowStamps};
+pub use window::{
+    LazyWindowedCounter, LazyWindowedHistogram, SloBurn, SloInput, SloSpec, WindowedCounter,
+    WindowedHistogram,
+};
 
 use kvec_json::Json;
 use sink::Sink;
@@ -195,6 +202,7 @@ pub fn configure(cfg: Config) {
     st.enabled.store(false, Ordering::SeqCst);
     st.level.store(cfg.level as u8, Ordering::SeqCst);
     *st.sink.lock().unwrap_or_else(|e| e.into_inner()) = sink;
+    FINISHED.store(false, Ordering::SeqCst);
     st.enabled.store(cfg.enabled, Ordering::SeqCst);
 }
 
@@ -251,12 +259,21 @@ pub fn take_lines() -> Vec<String> {
         .take_lines()
 }
 
+/// Set once [`finish`] has run; cleared by [`configure`] and [`reset`]
+/// so a new in-process run gets its own summary.
+static FINISHED: AtomicBool = AtomicBool::new(false);
+
 /// End-of-run hook: emits a final `metrics.summary` event (so the JSONL
 /// log carries the aggregate counters/histograms), flushes the sink, and
 /// writes the `KVEC_METRICS_FILE` / `KVEC_CHROME_TRACE` exports when those
-/// variables are set. Safe to call multiple times; a no-op when disabled.
+/// variables are set. Idempotent: repeated calls (e.g. an explicit call
+/// plus a drop-guard in the caller) emit exactly one summary; the next
+/// [`configure`] or [`reset`] re-arms it. A no-op when disabled.
 pub fn finish() {
     if !enabled() {
+        return;
+    }
+    if FINISHED.swap(true, Ordering::SeqCst) {
         return;
     }
     event(
@@ -277,11 +294,18 @@ pub fn finish() {
     }
 }
 
-/// Zeroes every registered metric and clears retained spans, gauge
-/// samples, and memory-sink lines. For tests and repeated in-process runs.
+/// Resets the subscriber's accumulated state for a fresh in-process run:
+/// zeroes and *retires* every registered metric (see
+/// [`metrics::clear_registrations`] — a later run's summary no longer
+/// carries an earlier run's instruments), clears the windowed metrics
+/// and their tick clock, clears retained spans, gauge samples, and
+/// memory-sink lines, and re-arms [`finish`]. For tests and repeated
+/// in-process runs.
 pub fn reset() {
-    metrics::reset_all();
+    metrics::clear_registrations();
+    window::reset_all();
     span::reset_retained();
+    FINISHED.store(false, Ordering::SeqCst);
     let _ = take_lines();
 }
 

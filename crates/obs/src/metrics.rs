@@ -33,7 +33,23 @@ const RANGE: usize = ((MAX_EXP - MIN_EXP) as usize) * SUB_BUCKETS;
 /// Bucket count: underflow + log range + overflow.
 const NUM_BUCKETS: usize = RANGE + 2;
 
-fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+// The windowed types in `crate::window` reuse the bucket scheme so their
+// quantiles carry the same error bound as the cumulative histogram.
+pub(crate) const HIST_BUCKETS: usize = NUM_BUCKETS;
+pub(crate) const HIST_RANGE: usize = RANGE;
+
+/// Process-wide metric generation: bumped by [`clear_registrations`], so
+/// the exported [`snapshot`] only carries metrics touched since the last
+/// clear. Registered `&'static` handles stay valid forever (they are
+/// leaked); a stale-generation metric is merely invisible until its next
+/// mutation re-stamps it.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+fn current_gen() -> u64 {
+    GENERATION.load(Relaxed)
+}
+
+pub(crate) fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
     let mut cur = cell.load(Relaxed);
     loop {
         let next = f(f64::from_bits(cur)).to_bits();
@@ -52,6 +68,7 @@ fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
 pub struct Counter {
     name: &'static str,
     value: AtomicU64,
+    gen: AtomicU64,
 }
 
 impl Counter {
@@ -59,6 +76,7 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Relaxed);
+        self.gen.store(current_gen(), Relaxed);
     }
 
     /// Current total.
@@ -85,6 +103,7 @@ pub struct Gauge {
     bits: AtomicU64,
     high_bits: AtomicU64,
     set_count: AtomicU64,
+    gen: AtomicU64,
 }
 
 impl Gauge {
@@ -92,6 +111,7 @@ impl Gauge {
     /// emits a JSONL `gauge` record plus a retained chrome-trace counter
     /// sample.
     pub fn set(&self, v: f64) {
+        self.gen.store(current_gen(), Relaxed);
         self.bits.store(v.to_bits(), Relaxed);
         atomic_f64_update(&self.high_bits, |cur| cur.max(v));
         self.set_count.fetch_add(1, Relaxed);
@@ -144,6 +164,7 @@ pub struct Histogram {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    gen: AtomicU64,
 }
 
 impl std::fmt::Debug for Histogram {
@@ -155,7 +176,7 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
-fn bucket_index(v: f64) -> usize {
+pub(crate) fn bucket_index(v: f64) -> usize {
     if v.is_nan() || v <= 0.0 {
         // Non-positive and NaN values share the underflow bucket; the
         // quantile resolves them through the exact minimum.
@@ -172,7 +193,7 @@ fn bucket_index(v: f64) -> usize {
 }
 
 /// Geometric midpoint of bucket `i`'s bounds (`1 <= i <= RANGE`).
-fn bucket_mid(i: usize) -> f64 {
+pub(crate) fn bucket_mid(i: usize) -> f64 {
     let lo = MIN_EXP as f64 + (i - 1) as f64 / SUB_BUCKETS as f64;
     (lo + 0.5 / SUB_BUCKETS as f64).exp2()
 }
@@ -191,6 +212,7 @@ impl Histogram {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            gen: AtomicU64::new(current_gen()),
         };
         h.reset();
         h
@@ -201,6 +223,7 @@ impl Histogram {
         if v.is_nan() {
             return;
         }
+        self.gen.store(current_gen(), Relaxed);
         self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
         self.count.fetch_add(1, Relaxed);
         atomic_f64_update(&self.sum_bits, |s| s + v);
@@ -353,6 +376,7 @@ pub fn counter(name: &'static str) -> &'static Counter {
     let c: &'static Counter = Box::leak(Box::new(Counter {
         name,
         value: AtomicU64::new(0),
+        gen: AtomicU64::new(current_gen()),
     }));
     reg.push((name, Metric::Counter(c)));
     c
@@ -374,6 +398,7 @@ pub fn gauge(name: &'static str) -> &'static Gauge {
         bits: AtomicU64::new(f64::NAN.to_bits()),
         high_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
         set_count: AtomicU64::new(0),
+        gen: AtomicU64::new(current_gen()),
     }));
     reg.push((name, Metric::Gauge(g)));
     g
@@ -397,7 +422,8 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
 }
 
 /// Zeroes every registered metric (registrations persist — handles cached
-/// in `OnceLock`s stay valid).
+/// in `OnceLock`s stay valid and the metrics stay visible in the exported
+/// snapshot).
 pub fn reset_all() {
     for (_, m) in lock_registry().iter() {
         match m {
@@ -408,23 +434,41 @@ pub fn reset_all() {
     }
 }
 
+/// Zeroes every registered metric *and* retires it from the exported
+/// snapshot until its next mutation: back-to-back in-process runs (e.g.
+/// a serving test followed by a training run) stop leaking each other's
+/// instruments into `metrics.summary`. Cached `&'static` handles stay
+/// valid — the backing metrics are leaked, only their visibility
+/// generation moves — so instrumentation sites need no re-registration,
+/// just a first touch.
+pub fn clear_registrations() {
+    reset_all();
+    GENERATION.fetch_add(1, Relaxed);
+}
+
 /// Counter rows of a [`snapshot`]: `(name, total)`.
 pub(crate) type CounterRows = Vec<(&'static str, u64)>;
 /// Gauge rows of a [`snapshot`]: `(name, value, high_water, sets)`.
 pub(crate) type GaugeRows = Vec<(&'static str, f64, f64, u64)>;
 
-/// A point-in-time copy of every registered metric, sorted by name —
-/// the input to `export::metrics_summary`.
+/// A point-in-time copy of every registered metric that is visible in
+/// the current generation (touched since the last
+/// [`clear_registrations`]), sorted by name — the input to
+/// `export::metrics_summary`.
 pub(crate) fn snapshot() -> (CounterRows, GaugeRows, Vec<&'static Histogram>) {
     let reg = lock_registry();
+    let cur = current_gen();
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
     let mut hists = Vec::new();
     for (name, m) in reg.iter() {
         match m {
-            Metric::Counter(c) => counters.push((*name, c.get())),
-            Metric::Gauge(g) => gauges.push((*name, g.get(), g.high_water(), g.sets())),
-            Metric::Histogram(h) => hists.push(*h),
+            Metric::Counter(c) if c.gen.load(Relaxed) == cur => counters.push((*name, c.get())),
+            Metric::Gauge(g) if g.gen.load(Relaxed) == cur => {
+                gauges.push((*name, g.get(), g.high_water(), g.sets()))
+            }
+            Metric::Histogram(h) if h.gen.load(Relaxed) == cur => hists.push(*h),
+            _ => {}
         }
     }
     counters.sort_by_key(|(n, _)| *n);

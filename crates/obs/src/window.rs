@@ -1,0 +1,679 @@
+//! Sliding-window metrics over a logical tick clock, plus declarative
+//! SLO evaluation.
+//!
+//! The cumulative types in [`crate::metrics`] answer "what happened over
+//! the whole run"; a live telemetry plane needs "what is happening *now*"
+//! — shed rate over the last window, windowed latency percentiles — so a
+//! drifting run is visible while it is still in flight. Each windowed
+//! metric is a ring of [`SLOTS`] fixed-width windows keyed by a global
+//! logical tick clock ([`tick`]/[`advance`], advanced by the serving
+//! workers once per processed message): recording hits the slot of the
+//! current window with plain relaxed atomics, and a slot is recycled
+//! in place when its window id comes around again.
+//!
+//! # Concurrency contract
+//!
+//! Within one window, recording is a lock-free `fetch_add` — concurrent
+//! recorders never lose counts (mirrored by the loss-free test in the
+//! obs suite). Rotation (first record of a new window) briefly parks the
+//! slot behind a sentinel id while it is zeroed; recorders for the same
+//! new window spin for the handful of stores that takes, and a straggler
+//! still holding a tick from ≥ [`SLOTS`] windows ago drops its sample
+//! rather than resurrect a recycled slot. Readers racing a rotation can
+//! observe a freshly zeroed window — the same point-in-time blur every
+//! sampled telemetry system has, and why exact accounting lives in
+//! `ServeStats`, not here.
+
+use crate::metrics::{
+    atomic_f64_update, bucket_index, bucket_mid, Percentiles, HIST_BUCKETS, HIST_RANGE,
+};
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::{Mutex, OnceLock};
+
+/// Windows retained per metric: the ring recycles a slot after `SLOTS`
+/// windows, so reads older than that return empty.
+pub const SLOTS: usize = 8;
+
+/// Slot id holding this value is mid-rotation; recorders spin.
+const LOCKED: u64 = u64::MAX;
+
+// ---------------------------------------------------------------------------
+// The logical tick clock
+// ---------------------------------------------------------------------------
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// Current logical tick (monotone except across [`reset_all`]).
+#[inline]
+pub fn tick() -> u64 {
+    TICKS.load(Relaxed)
+}
+
+/// Advances the logical clock by `n` ticks, returning the new value. The
+/// serving workers call this once per processed message, which makes
+/// window boundaries a function of work done rather than wall time —
+/// deterministic under test, load-proportional in production.
+#[inline]
+pub fn advance(n: u64) -> u64 {
+    TICKS.fetch_add(n, Relaxed) + n
+}
+
+// ---------------------------------------------------------------------------
+// Windowed counter
+// ---------------------------------------------------------------------------
+
+struct CounterSlot {
+    /// Window id + 1 (0 = empty, [`LOCKED`] = mid-rotation).
+    id: AtomicU64,
+    value: AtomicU64,
+}
+
+/// A counter bucketed into fixed-width tick windows: `add` lands in the
+/// window of the current [`tick`], and the last [`SLOTS`] windows stay
+/// readable.
+pub struct WindowedCounter {
+    name: &'static str,
+    width: u64,
+    slots: Box<[CounterSlot]>,
+}
+
+/// Claims the slot for window `wid`, rotating it if it still holds an
+/// older window. Returns `None` when the slot has already advanced past
+/// `wid` (a straggling recorder from ≥ SLOTS windows ago).
+fn claim(slots: &[CounterSlot], wid: u64, clear: impl Fn(usize)) -> Option<usize> {
+    let idx = (wid % slots.len() as u64) as usize;
+    let tag = wid + 1;
+    loop {
+        let cur = slots[idx].id.load(Acquire);
+        if cur == tag {
+            return Some(idx);
+        }
+        if cur == LOCKED {
+            std::hint::spin_loop();
+            continue;
+        }
+        if cur != 0 && cur - 1 > wid {
+            return None;
+        }
+        if slots[idx]
+            .id
+            .compare_exchange(cur, LOCKED, Acquire, Relaxed)
+            .is_ok()
+        {
+            clear(idx);
+            slots[idx].id.store(tag, Release);
+            return Some(idx);
+        }
+    }
+}
+
+impl WindowedCounter {
+    /// Creates a counter with `width`-tick windows.
+    pub fn new(name: &'static str, width: u64) -> WindowedCounter {
+        assert!(width > 0, "window width must be positive");
+        WindowedCounter {
+            name,
+            width,
+            slots: (0..SLOTS)
+                .map(|_| CounterSlot {
+                    id: AtomicU64::new(0),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Window width in ticks.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// The window id the clock is currently in.
+    pub fn current_window(&self) -> u64 {
+        tick() / self.width
+    }
+
+    /// Adds `n` to the current window.
+    pub fn add(&self, n: u64) {
+        let wid = self.current_window();
+        if let Some(idx) = claim(&self.slots, wid, |i| self.slots[i].value.store(0, Relaxed)) {
+            self.slots[idx].value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Total recorded in window `wid` (0 if empty or recycled).
+    pub fn window_total(&self, wid: u64) -> u64 {
+        let s = &self.slots[(wid % SLOTS as u64) as usize];
+        if s.id.load(Acquire) == wid + 1 {
+            s.value.load(Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Sum over the `k` most recent *complete* windows (the current,
+    /// still-filling window is excluded).
+    pub fn sum_recent(&self, k: usize) -> u64 {
+        let cur = self.current_window();
+        (0..k.min(SLOTS) as u64)
+            .filter_map(|back| cur.checked_sub(back + 1))
+            .map(|w| self.window_total(w))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for s in self.slots.iter() {
+            s.value.store(0, Relaxed);
+            s.id.store(0, Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Windowed histogram
+// ---------------------------------------------------------------------------
+
+struct HistSlot {
+    id: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistSlot {
+    fn clear(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Relaxed);
+        self.min_bits.store(f64::INFINITY.to_bits(), Relaxed);
+        self.max_bits.store(f64::NEG_INFINITY.to_bits(), Relaxed);
+    }
+}
+
+/// A log-bucketed histogram ([`crate::metrics::Histogram`]'s bucket
+/// scheme, same ~9% quantile error bound) bucketed into fixed-width tick
+/// windows, so percentiles can be read over the last window(s) instead
+/// of the whole run.
+pub struct WindowedHistogram {
+    name: &'static str,
+    width: u64,
+    slots: Box<[HistSlot]>,
+}
+
+impl WindowedHistogram {
+    /// Creates a histogram with `width`-tick windows.
+    pub fn new(name: &'static str, width: u64) -> WindowedHistogram {
+        assert!(width > 0, "window width must be positive");
+        WindowedHistogram {
+            name,
+            width,
+            slots: (0..SLOTS)
+                .map(|_| {
+                    let s = HistSlot {
+                        id: AtomicU64::new(0),
+                        buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                        count: AtomicU64::new(0),
+                        sum_bits: AtomicU64::new(0),
+                        min_bits: AtomicU64::new(0),
+                        max_bits: AtomicU64::new(0),
+                    };
+                    s.clear();
+                    s
+                })
+                .collect(),
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Window width in ticks.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// The window id the clock is currently in.
+    pub fn current_window(&self) -> u64 {
+        tick() / self.width
+    }
+
+    /// Records one observation into the current window. NaN is ignored.
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let wid = self.current_window();
+        let idx = (wid % SLOTS as u64) as usize;
+        let tag = wid + 1;
+        loop {
+            let cur = self.slots[idx].id.load(Acquire);
+            if cur == tag {
+                break;
+            }
+            if cur == LOCKED {
+                std::hint::spin_loop();
+                continue;
+            }
+            if cur != 0 && cur - 1 > wid {
+                return; // straggler from a recycled window: drop
+            }
+            if self.slots[idx]
+                .id
+                .compare_exchange(cur, LOCKED, Acquire, Relaxed)
+                .is_ok()
+            {
+                self.slots[idx].clear();
+                self.slots[idx].id.store(tag, Release);
+                break;
+            }
+        }
+        let s = &self.slots[idx];
+        s.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        s.count.fetch_add(1, Relaxed);
+        atomic_f64_update(&s.sum_bits, |x| x + v);
+        atomic_f64_update(&s.min_bits, |m| m.min(v));
+        atomic_f64_update(&s.max_bits, |m| m.max(v));
+    }
+
+    /// Observation count in window `wid` (0 if empty or recycled).
+    pub fn window_count(&self, wid: u64) -> u64 {
+        let s = &self.slots[(wid % SLOTS as u64) as usize];
+        if s.id.load(Acquire) == wid + 1 {
+            s.count.load(Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Count and p50/p95/p99 over the `k` most recent complete windows,
+    /// merged (the current, still-filling window is excluded). All-NaN
+    /// percentiles when those windows are empty.
+    pub fn recent_percentiles(&self, k: usize) -> (u64, Percentiles) {
+        let cur = self.current_window();
+        let wids: Vec<u64> = (0..k.min(SLOTS) as u64)
+            .filter_map(|back| cur.checked_sub(back + 1))
+            .collect();
+        self.merged_percentiles(&wids)
+    }
+
+    /// Count and p50/p95/p99 over an explicit set of window ids, merged.
+    pub fn merged_percentiles(&self, wids: &[u64]) -> (u64, Percentiles) {
+        let mut buckets = vec![0u64; HIST_BUCKETS];
+        let mut count = 0u64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &wid in wids {
+            let s = &self.slots[(wid % SLOTS as u64) as usize];
+            if s.id.load(Acquire) != wid + 1 {
+                continue;
+            }
+            for (acc, b) in buckets.iter_mut().zip(s.buckets.iter()) {
+                *acc += b.load(Relaxed);
+            }
+            count += s.count.load(Relaxed);
+            min = min.min(f64::from_bits(s.min_bits.load(Relaxed)));
+            max = max.max(f64::from_bits(s.max_bits.load(Relaxed)));
+        }
+        let q = |q: f64| quantile_of(&buckets, count, min, max, q);
+        (
+            count,
+            Percentiles {
+                p50: q(0.50),
+                p95: q(0.95),
+                p99: q(0.99),
+            },
+        )
+    }
+
+    fn reset(&self) {
+        for s in self.slots.iter() {
+            s.clear();
+            s.id.store(0, Relaxed);
+        }
+    }
+}
+
+/// Quantile over merged bucket counts — the same estimator as
+/// [`crate::metrics::Histogram::quantile`]: geometric bucket midpoint at
+/// the order-statistic rank, exact at the extreme ranks, clamped to the
+/// observed range. NaN when empty.
+fn quantile_of(buckets: &[u64], count: u64, min: f64, max: f64, q: f64) -> f64 {
+    if count == 0 {
+        return f64::NAN;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (count - 1) as f64).floor() as u64;
+    if rank == 0 {
+        return min;
+    }
+    if rank == count - 1 {
+        return max;
+    }
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        if cum > rank {
+            let raw = match i {
+                0 => min,
+                i if i == HIST_RANGE + 1 => max,
+                i => bucket_mid(i),
+            };
+            return raw.clamp(min, max);
+        }
+    }
+    max
+}
+
+// ---------------------------------------------------------------------------
+// Registry + lazy handles
+// ---------------------------------------------------------------------------
+
+enum WMetric {
+    Counter(&'static WindowedCounter),
+    Histogram(&'static WindowedHistogram),
+}
+
+fn registry() -> &'static Mutex<Vec<(&'static str, WMetric)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(&'static str, WMetric)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Vec<(&'static str, WMetric)>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Finds or creates the windowed counter `name`. Panics on a type or
+/// width mismatch with an existing registration.
+pub fn windowed_counter(name: &'static str, width: u64) -> &'static WindowedCounter {
+    let mut reg = lock_registry();
+    for (n, m) in reg.iter() {
+        if *n == name {
+            match m {
+                WMetric::Counter(c) if c.width() == width => return c,
+                _ => panic!("windowed metric `{name}` already registered differently"),
+            }
+        }
+    }
+    let c: &'static WindowedCounter = Box::leak(Box::new(WindowedCounter::new(name, width)));
+    reg.push((name, WMetric::Counter(c)));
+    c
+}
+
+/// Finds or creates the windowed histogram `name` (see
+/// [`windowed_counter`] for the contract).
+pub fn windowed_histogram(name: &'static str, width: u64) -> &'static WindowedHistogram {
+    let mut reg = lock_registry();
+    for (n, m) in reg.iter() {
+        if *n == name {
+            match m {
+                WMetric::Histogram(h) if h.width() == width => return h,
+                _ => panic!("windowed metric `{name}` already registered differently"),
+            }
+        }
+    }
+    let h: &'static WindowedHistogram = Box::leak(Box::new(WindowedHistogram::new(name, width)));
+    reg.push((name, WMetric::Histogram(h)));
+    h
+}
+
+/// Clears every windowed metric and rewinds the tick clock to zero (for
+/// tests and repeated in-process runs; called by [`crate::reset`]).
+pub fn reset_all() {
+    for (_, m) in lock_registry().iter() {
+        match m {
+            WMetric::Counter(c) => c.reset(),
+            WMetric::Histogram(h) => h.reset(),
+        }
+    }
+    TICKS.store(0, Relaxed);
+}
+
+/// A `static`-declarable windowed-counter handle (the
+/// [`crate::LazyCounter`] pattern: disabled use is one relaxed load and
+/// a branch).
+pub struct LazyWindowedCounter {
+    name: &'static str,
+    width: u64,
+    cell: OnceLock<&'static WindowedCounter>,
+}
+
+impl LazyWindowedCounter {
+    /// Declares a handle (usually in a `static`).
+    pub const fn new(name: &'static str, width: u64) -> LazyWindowedCounter {
+        LazyWindowedCounter {
+            name,
+            width,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered counter (registering it if needed).
+    pub fn force(&self) -> &'static WindowedCounter {
+        self.cell
+            .get_or_init(|| windowed_counter(self.name, self.width))
+    }
+
+    /// Adds `n` to the current window when the subscriber is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.force().add(n);
+        }
+    }
+}
+
+/// A `static`-declarable windowed-histogram handle (see
+/// [`LazyWindowedCounter`]).
+pub struct LazyWindowedHistogram {
+    name: &'static str,
+    width: u64,
+    cell: OnceLock<&'static WindowedHistogram>,
+}
+
+impl LazyWindowedHistogram {
+    /// Declares a handle (usually in a `static`).
+    pub const fn new(name: &'static str, width: u64) -> LazyWindowedHistogram {
+        LazyWindowedHistogram {
+            name,
+            width,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered histogram (registering it if needed).
+    pub fn force(&self) -> &'static WindowedHistogram {
+        self.cell
+            .get_or_init(|| windowed_histogram(self.name, self.width))
+    }
+
+    /// Records into the current window when the subscriber is enabled.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if crate::enabled() {
+            self.force().record(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SLO specs
+// ---------------------------------------------------------------------------
+
+/// A declarative service-level objective evaluated once per completed
+/// window. Every budget is optional; unset budgets are never evaluated.
+/// Pure data — the serving layer feeds it a [`SloInput`] per window and
+/// emits a warn-level `slo.burn` event per returned [`SloBurn`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloSpec {
+    /// Name carried on burn events (identifies the objective).
+    pub name: &'static str,
+    /// Budget for the windowed p99 decision latency, in microseconds.
+    pub p99_latency_us: Option<f64>,
+    /// Maximum tolerated shed fraction (sheds / submissions) per window.
+    pub max_shed_fraction: Option<f64>,
+    /// Maximum tolerated deadline-forced fraction (forced halts /
+    /// decisions) per window.
+    pub max_forced_halt_fraction: Option<f64>,
+}
+
+/// One window's observed values, the input to [`SloSpec::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloInput {
+    /// The completed window id.
+    pub window: u64,
+    /// Submissions in the window.
+    pub submitted: u64,
+    /// Sheds in the window.
+    pub shed: u64,
+    /// Decisions in the window.
+    pub decisions: u64,
+    /// Deadline-forced halts in the window.
+    pub forced_halts: u64,
+    /// Windowed p99 decision latency (NaN when no decisions landed).
+    pub p99_latency_us: f64,
+}
+
+/// One violated budget: which one, the limit, and what was observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloBurn {
+    /// Budget identifier (`p99_latency_us` / `shed_fraction` /
+    /// `forced_halt_fraction`).
+    pub budget: &'static str,
+    /// The configured limit.
+    pub limit: f64,
+    /// The observed value that exceeded it.
+    pub observed: f64,
+}
+
+impl SloSpec {
+    /// Evaluates every configured budget against one window's
+    /// observation. Budgets whose denominator is empty this window
+    /// (no submissions, no decisions) are vacuously met.
+    pub fn evaluate(&self, w: &SloInput) -> Vec<SloBurn> {
+        let mut burns = Vec::new();
+        if let Some(limit) = self.p99_latency_us {
+            if w.p99_latency_us.is_finite() && w.p99_latency_us > limit {
+                burns.push(SloBurn {
+                    budget: "p99_latency_us",
+                    limit,
+                    observed: w.p99_latency_us,
+                });
+            }
+        }
+        if let Some(limit) = self.max_shed_fraction {
+            if w.submitted > 0 {
+                let observed = w.shed as f64 / w.submitted as f64;
+                if observed > limit {
+                    burns.push(SloBurn {
+                        budget: "shed_fraction",
+                        limit,
+                        observed,
+                    });
+                }
+            }
+        }
+        if let Some(limit) = self.max_forced_halt_fraction {
+            if w.decisions > 0 {
+                let observed = w.forced_halts as f64 / w.decisions as f64;
+                if observed > limit {
+                    burns.push(SloBurn {
+                        budget: "forced_halt_fraction",
+                        limit,
+                        observed,
+                    });
+                }
+            }
+        }
+        burns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_budgets_fire_independently() {
+        let spec = SloSpec {
+            name: "serve",
+            p99_latency_us: Some(1000.0),
+            max_shed_fraction: Some(0.25),
+            max_forced_halt_fraction: Some(0.5),
+        };
+        let healthy = SloInput {
+            window: 3,
+            submitted: 100,
+            shed: 10,
+            decisions: 20,
+            forced_halts: 5,
+            p99_latency_us: 900.0,
+        };
+        assert!(spec.evaluate(&healthy).is_empty());
+
+        let burning = SloInput {
+            shed: 60,
+            p99_latency_us: 5000.0,
+            ..healthy
+        };
+        let burns = spec.evaluate(&burning);
+        assert_eq!(burns.len(), 2);
+        assert_eq!(burns[0].budget, "p99_latency_us");
+        assert_eq!(burns[1].budget, "shed_fraction");
+        assert_eq!(burns[1].observed, 0.6);
+    }
+
+    #[test]
+    fn slo_empty_denominators_are_vacuously_met() {
+        let spec = SloSpec {
+            name: "serve",
+            p99_latency_us: Some(1.0),
+            max_shed_fraction: Some(0.0),
+            max_forced_halt_fraction: Some(0.0),
+        };
+        let idle = SloInput {
+            window: 0,
+            submitted: 0,
+            shed: 0,
+            decisions: 0,
+            forced_halts: 0,
+            p99_latency_us: f64::NAN,
+        };
+        assert!(spec.evaluate(&idle).is_empty());
+    }
+
+    #[test]
+    fn unconfigured_spec_never_burns() {
+        let spec = SloSpec::default();
+        let w = SloInput {
+            window: 1,
+            submitted: 10,
+            shed: 10,
+            decisions: 10,
+            forced_halts: 10,
+            p99_latency_us: 1e9,
+        };
+        assert!(spec.evaluate(&w).is_empty());
+    }
+
+    #[test]
+    fn quantile_of_empty_is_nan() {
+        let buckets = vec![0u64; HIST_BUCKETS];
+        assert!(quantile_of(&buckets, 0, f64::INFINITY, f64::NEG_INFINITY, 0.5).is_nan());
+    }
+}

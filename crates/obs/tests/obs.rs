@@ -271,3 +271,168 @@ fn gauge_emission_appears_in_jsonl_and_chrome_trace() {
     assert_eq!(counters.len(), 2);
     disable();
 }
+
+#[test]
+fn windowed_histogram_percentiles_match_a_sorted_vec_oracle() {
+    let _g = lock();
+    memory_subscriber(Level::Info);
+    let h = obs::window::windowed_histogram("t.w.quantile.oracle", 100);
+
+    // Same skewed sample and tolerance as the cumulative-histogram
+    // oracle test: the windowed variant shares the bucket scheme, so it
+    // must share the error bound.
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut values = Vec::with_capacity(5000);
+    for _ in 0..5000 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        values.push(10f64.powf(u * 3.0));
+    }
+    for &v in &values {
+        h.record(v);
+    }
+    h.record(f64::NAN); // ignored, not counted
+    obs::window::advance(100); // completes window 0
+
+    let (count, p) = h.recent_percentiles(1);
+    assert_eq!(count, 5000);
+    let mut sorted = values.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let tol = 2f64.powf(1.0 / obs::metrics::SUB_BUCKETS as f64);
+    for (q, got) in [(0.50, p.p50), (0.95, p.p95), (0.99, p.p99)] {
+        let oracle = sorted[(q * (sorted.len() - 1) as f64).floor() as usize];
+        assert!(
+            got >= oracle / tol && got <= oracle * tol,
+            "q={q}: windowed {got} vs oracle {oracle} (tolerance x{tol:.4})"
+        );
+    }
+
+    // A second window merges: same distribution recorded again, so the
+    // merged percentiles stay within tolerance and the count doubles.
+    for &v in &values {
+        h.record(v);
+    }
+    obs::window::advance(100);
+    let (count2, p2) = h.recent_percentiles(2);
+    assert_eq!(count2, 10_000);
+    let oracle50 = sorted[(0.5 * (sorted.len() - 1) as f64) as usize];
+    assert!(p2.p50 >= oracle50 / tol && p2.p50 <= oracle50 * tol);
+    disable();
+}
+
+#[test]
+fn windowed_counter_rotation_boundaries() {
+    let _g = lock();
+    memory_subscriber(Level::Info);
+    let c = obs::window::windowed_counter("t.w.rotation", 10);
+
+    // Ticks 0 and 9 land in window 0; tick 10 starts window 1.
+    c.add(5);
+    obs::window::advance(9);
+    c.add(1);
+    assert_eq!(c.current_window(), 0);
+    obs::window::advance(1);
+    assert_eq!(c.current_window(), 1);
+    c.add(2);
+    assert_eq!(c.window_total(0), 6);
+    assert_eq!(c.window_total(1), 2);
+    // The still-filling current window is excluded from recent sums.
+    assert_eq!(c.sum_recent(1), 6);
+    assert_eq!(c.sum_recent(obs::window::SLOTS), 6);
+
+    // Window SLOTS reuses window 0's slot: the old total stays readable
+    // until the first record of the new window rotates it out.
+    obs::window::advance(10 * (obs::window::SLOTS as u64 - 1));
+    assert_eq!(c.current_window(), obs::window::SLOTS as u64);
+    assert_eq!(
+        c.window_total(0),
+        6,
+        "slot not recycled before first record"
+    );
+    c.add(7);
+    assert_eq!(
+        c.window_total(0),
+        0,
+        "recycled slot no longer serves window 0"
+    );
+    assert_eq!(c.window_total(obs::window::SLOTS as u64), 7);
+    // Of windows 1..SLOTS-1 only window 1 ever recorded.
+    assert_eq!(c.sum_recent(obs::window::SLOTS), 2);
+    disable();
+}
+
+#[test]
+fn windowed_concurrent_recording_loses_nothing() {
+    let _g = lock();
+    memory_subscriber(Level::Info);
+    let threads = worker_count();
+    const PER_THREAD: u64 = 20_000;
+    let c = obs::window::windowed_counter("t.w.conc.counter", 1000);
+    let h = obs::window::windowed_histogram("t.w.conc.hist", 1000);
+
+    // All recorders share window 0; the clock does not move under them.
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for i in 0..PER_THREAD {
+                    c.add(1);
+                    h.record((i % 100 + 1) as f64);
+                }
+            });
+        }
+    });
+    obs::window::advance(1000);
+    let total = threads as u64 * PER_THREAD;
+    assert_eq!(c.sum_recent(1), total);
+    let (count, p) = h.recent_percentiles(1);
+    assert_eq!(count, total);
+    assert!(p.p50 >= 1.0 && p.p50 <= 100.0);
+    disable();
+}
+
+#[test]
+fn finish_is_idempotent_and_reset_clears_instruments() {
+    let _g = lock();
+    memory_subscriber(Level::Info);
+    obs::metrics::counter("t.finish.stale").add(3);
+
+    // Exactly one summary no matter how many times finish() runs (an
+    // explicit call plus a caller's drop-guard is the common pair).
+    obs::finish();
+    let first = parse_lines(&obs::take_lines());
+    assert_eq!(
+        first
+            .iter()
+            .filter(|j| j.get("name").map(|n| n.as_str().ok()) == Ok(Some("metrics.summary")))
+            .count(),
+        1
+    );
+    obs::finish();
+    assert!(
+        obs::take_lines().is_empty(),
+        "second finish must emit nothing"
+    );
+
+    // reset() retires registered instruments: the next run's summary
+    // does not carry the earlier run's counter, and finish is re-armed.
+    obs::reset();
+    obs::metrics::counter("t.finish.fresh").add(1);
+    obs::finish();
+    let lines = obs::take_lines().join("\n");
+    assert!(
+        lines.contains("metrics.summary"),
+        "finish re-armed after reset"
+    );
+    assert!(lines.contains("t.finish.fresh"));
+    assert!(
+        !lines.contains("t.finish.stale"),
+        "reset must clear earlier registrations from the summary"
+    );
+    // The windowed tick clock rewinds too.
+    obs::window::advance(17);
+    obs::reset();
+    assert_eq!(obs::window::tick(), 0);
+    disable();
+}

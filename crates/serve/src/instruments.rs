@@ -8,7 +8,12 @@
 //! per-service [`crate::ServeStats`]: obs metrics are process-global and
 //! may be disabled, so tests assert on stats, operators read metrics.
 
-use kvec_obs::{LazyCounter, LazyGauge, LazyHistogram};
+use kvec_obs::{LazyCounter, LazyGauge, LazyHistogram, LazyWindowedCounter, LazyWindowedHistogram};
+
+/// Width, in logical ticks, of one telemetry window. Workers advance the
+/// tick clock by one per processed message, so a window covers ~256
+/// processed arrivals fleet-wide regardless of wall-clock speed.
+pub const WINDOW_TICKS: u64 = 256;
 
 /// Depth of the shard queue last touched (set on every submit and on
 /// every supervisor poll with the total across shards; the high-water
@@ -50,6 +55,31 @@ pub static WORKER_HEARTBEAT: LazyGauge = LazyGauge::new("serve.worker_heartbeat"
 /// deadline-forced halts, from the key's first pending arrival) to the
 /// decision. Percentiles exported via `Histogram::percentiles`.
 pub static DECISION_LATENCY_US: LazyHistogram = LazyHistogram::new("serve.decision_latency_us");
+/// Microseconds a deciding arrival waited in its shard queue
+/// (dequeue − enqueue). Cumulative twin of the per-flow `flow.queue`
+/// trace records; exported so `serve_load` can report the queue-wait
+/// share of end-to-end latency without a trace file.
+pub static QUEUE_WAIT_US: LazyHistogram = LazyHistogram::new("serve.queue_wait_us");
+/// Microseconds of worker service time per processed arrival
+/// (engine feed + bookkeeping, including chaos-injected stalls).
+pub static SERVICE_US: LazyHistogram = LazyHistogram::new("serve.service_us");
+
+/// Windowed twin of [`SUBMITTED`] (per [`WINDOW_TICKS`]-tick window).
+pub static W_SUBMITTED: LazyWindowedCounter =
+    LazyWindowedCounter::new("serve.w.submitted", WINDOW_TICKS);
+/// Windowed twin of [`SHED_TOTAL`].
+pub static W_SHED: LazyWindowedCounter = LazyWindowedCounter::new("serve.w.shed", WINDOW_TICKS);
+/// Windowed twin of [`FORCED_HALTS`].
+pub static W_FORCED_HALTS: LazyWindowedCounter =
+    LazyWindowedCounter::new("serve.w.forced_halts", WINDOW_TICKS);
+/// Windowed twin of [`DECISIONS`].
+pub static W_DECISIONS: LazyWindowedCounter =
+    LazyWindowedCounter::new("serve.w.decisions", WINDOW_TICKS);
+/// Windowed decision latency — the p50/p95/p99 published in each
+/// `telemetry.snapshot` heartbeat cover only recent windows, so latency
+/// drift is visible while a run is still in flight.
+pub static W_DECISION_LATENCY_US: LazyWindowedHistogram =
+    LazyWindowedHistogram::new("serve.w.decision_latency_us", WINDOW_TICKS);
 
 /// Forces registration of every serve instrument. Called at service
 /// start so traced runs export them even at zero — a healthy run has no

@@ -47,7 +47,8 @@ mod worker;
 pub use admission::{admission_verdict, Admission, ShedReason, Watermarks};
 pub use queue::{BoundedQueue, Pop};
 pub use service::{
-    shard_of_key, QuarantineRecord, ServeConfig, ServeReport, ServeStats, ShardedService,
+    shard_of_key, QuarantineRecord, ServeConfig, ServeReport, ServeStats, ShardBreakdown,
+    ShardedService,
 };
 
 #[cfg(test)]

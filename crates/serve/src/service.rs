@@ -29,7 +29,7 @@ use kvec::streaming::Decision;
 use kvec::{KvecModel, ServeChaos};
 use kvec_data::{Item, Key};
 use kvec_json::{FromJson, Json, JsonError, ToJson};
-use kvec_obs::{event, Level};
+use kvec_obs::{event, trace_ctx, window, FlowCtx, Level, SloInput, SloSpec};
 
 use crate::admission::{admission_verdict, Admission, ShedReason, Watermarks};
 use crate::instruments as ins;
@@ -91,6 +91,10 @@ pub struct ServeConfig {
     /// ([`QuarantineRecord`] per line) for offline replay. The file is
     /// truncated at service start.
     pub quarantine_path: Option<PathBuf>,
+    /// Service-level objective evaluated once per completed telemetry
+    /// window (when the obs subscriber is enabled): each violated budget
+    /// emits a warn-level `slo.burn` event. `None` disables evaluation.
+    pub slo: Option<SloSpec>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +112,7 @@ impl Default for ServeConfig {
             idle_poll: Duration::from_millis(2),
             wedge_timeout: Duration::from_secs(2),
             quarantine_path: None,
+            slo: None,
         }
     }
 }
@@ -206,8 +211,9 @@ pub(crate) struct ShardState {
     /// popped is persistent — this guards the kill check, which runs
     /// *before* the pop increments it).
     pub fired: Mutex<BTreeSet<(u8, u64)>>,
-    /// The arrival currently being fed, for quarantine on crash.
-    pub inflight: Mutex<Option<(u64, Item)>>,
+    /// The arrival currently being fed — `(seq, item, trace_id)` — for
+    /// quarantine (and its `flow.quarantine` trace record) on crash.
+    pub inflight: Mutex<Option<(u64, Item, u64)>>,
     /// Panic message of a crashed worker, consumed by the supervisor.
     pub crashed: Mutex<Option<String>>,
     /// Set (after `crashed`) by the dying worker; supervisor clears it.
@@ -220,6 +226,13 @@ pub(crate) struct ShardState {
     pub restarts: AtomicU64,
     pub decisions: AtomicU64,
     pub wedge_events: AtomicU64,
+    // Latency decomposition (always on — Instant arithmetic, no obs
+    // dependency): total nanoseconds and sample counts, so the report
+    // can attribute mean per-shard latency to queue wait vs. service.
+    pub queue_wait_ns: AtomicU64,
+    pub queue_wait_samples: AtomicU64,
+    pub service_ns: AtomicU64,
+    pub service_samples: AtomicU64,
 }
 
 impl ShardState {
@@ -243,6 +256,10 @@ impl ShardState {
             restarts: AtomicU64::new(0),
             decisions: AtomicU64::new(0),
             wedge_events: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+            queue_wait_samples: AtomicU64::new(0),
+            service_ns: AtomicU64::new(0),
+            service_samples: AtomicU64::new(0),
         }
     }
 }
@@ -325,6 +342,37 @@ impl ServeStats {
     }
 }
 
+/// Per-shard latency decomposition: where a shard's share of end-to-end
+/// decision latency went, split into queue wait (enqueue → dequeue) and
+/// service (dequeue → engine-feed complete). Computed from always-on
+/// `Instant` accounting, so it is exact and available with the obs
+/// subscriber disabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardBreakdown {
+    /// Shard index.
+    pub shard: usize,
+    /// Messages dequeued by this shard, ever.
+    pub popped: u64,
+    /// Item arrivals fed into this shard's engine.
+    pub processed: u64,
+    /// Mean queue wait per dequeued item, microseconds (NaN if none).
+    pub mean_queue_wait_us: f64,
+    /// Mean service time per processed item, microseconds (NaN if none).
+    pub mean_service_us: f64,
+}
+
+impl ToJson for ShardBreakdown {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("shard", self.shard.to_json()),
+            ("popped", self.popped.to_json()),
+            ("processed", self.processed.to_json()),
+            ("mean_queue_wait_us", Json::Float(self.mean_queue_wait_us)),
+            ("mean_service_us", Json::Float(self.mean_service_us)),
+        ])
+    }
+}
+
 /// The everything-at-the-end bundle returned by
 /// [`ShardedService::shutdown`].
 #[derive(Debug)]
@@ -335,6 +383,8 @@ pub struct ServeReport {
     pub stats: ServeStats,
     /// Quarantined arrivals, in crash order.
     pub quarantined: Vec<QuarantineRecord>,
+    /// Per-shard queue-wait / service-time decomposition.
+    pub shards: Vec<ShardBreakdown>,
 }
 
 /// A running sharded serving instance. See the [module docs](self) for
@@ -400,10 +450,13 @@ impl ShardedService {
     /// was enqueued, and why not when it wasn't.
     pub fn submit(&self, item: Item) -> Admission {
         let sh = &self.shared;
+        let mut ctx = FlowCtx::capture();
         let idx = shard_of_key(item.key, sh.cfg.shards);
         let shard = &sh.shards[idx];
+        let key = item.key.0;
         sh.submitted.fetch_add(1, Ordering::Relaxed);
         ins::SUBMITTED.add(1);
+        ins::W_SUBMITTED.add(1);
 
         let depth = shard.queue.depth();
         ins::QUEUE_DEPTH.set(depth as f64);
@@ -412,23 +465,34 @@ impl ShardedService {
         match verdict {
             Admission::Shed { reason } => {
                 self.count_shed(reason);
+                trace_ctx::emit_submit(&ctx, key, idx, "item", Self::shed_verdict(reason));
                 verdict
             }
             _ => {
                 let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                ctx.mark_enqueued();
                 let msg = Msg::Item {
                     item,
                     seq,
                     enqueued: Instant::now(),
+                    ctx,
                 };
                 match shard.queue.try_push(msg) {
                     Ok(_) => {
                         sh.admitted.fetch_add(1, Ordering::Relaxed);
                         ins::ADMITTED.add(1);
-                        if matches!(verdict, Admission::Delayed { .. }) {
+                        let delayed = matches!(verdict, Admission::Delayed { .. });
+                        if delayed {
                             sh.delayed.fetch_add(1, Ordering::Relaxed);
                             ins::DELAYED.add(1);
                         }
+                        trace_ctx::emit_submit(
+                            &ctx,
+                            key,
+                            idx,
+                            "item",
+                            if delayed { "delayed" } else { "admitted" },
+                        );
                         verdict
                     }
                     Err(_) => {
@@ -438,6 +502,7 @@ impl ShardedService {
                             capacity: sh.cfg.queue_capacity,
                         };
                         self.count_shed(reason);
+                        trace_ctx::emit_submit(&ctx, key, idx, "item", "shed_queue_full");
                         Admission::Shed { reason }
                     }
                 }
@@ -451,15 +516,26 @@ impl ShardedService {
     /// they *produce* decisions rather than add load.
     pub fn submit_flow_end(&self, key: Key) -> Admission {
         let sh = &self.shared;
+        let mut ctx = FlowCtx::capture();
         let idx = shard_of_key(key, sh.cfg.shards);
         let shard = &sh.shards[idx];
         sh.flow_ends.fetch_add(1, Ordering::Relaxed);
+        ctx.mark_enqueued();
         match shard.queue.try_push(Msg::FlowEnd {
             key,
             enqueued: Instant::now(),
+            ctx,
         }) {
             Ok(depth) => {
-                if depth > sh.cfg.delay_watermark {
+                let delayed = depth > sh.cfg.delay_watermark;
+                trace_ctx::emit_submit(
+                    &ctx,
+                    key.0,
+                    idx,
+                    "flow_end",
+                    if delayed { "delayed" } else { "admitted" },
+                );
+                if delayed {
                     Admission::Delayed {
                         shard: idx,
                         queue_depth: depth,
@@ -472,6 +548,7 @@ impl ShardedService {
                 sh.flow_ends_shed.fetch_add(1, Ordering::Relaxed);
                 ins::SHED_TOTAL.add(1);
                 ins::SHED_QUEUE_FULL.add(1);
+                trace_ctx::emit_submit(&ctx, key.0, idx, "flow_end", "shed_queue_full");
                 Admission::Shed {
                     reason: ShedReason::QueueFull {
                         capacity: sh.cfg.queue_capacity,
@@ -481,8 +558,17 @@ impl ShardedService {
         }
     }
 
+    /// The `flow.submit` verdict string for a shed reason.
+    fn shed_verdict(reason: ShedReason) -> &'static str {
+        match reason {
+            ShedReason::QueueFull { .. } => "shed_queue_full",
+            ShedReason::ConfidentKey { .. } => "shed_confident",
+        }
+    }
+
     fn count_shed(&self, reason: ShedReason) {
         ins::SHED_TOTAL.add(1);
+        ins::W_SHED.add(1);
         match reason {
             ShedReason::QueueFull { .. } => {
                 self.shared.shed_queue_full.fetch_add(1, Ordering::Relaxed);
@@ -532,6 +618,35 @@ impl ShardedService {
         self.shared.shards.iter().map(|s| s.queue.depth()).sum()
     }
 
+    /// Per-shard queue-wait / service-time decomposition so far.
+    pub fn shard_breakdown(&self) -> Vec<ShardBreakdown> {
+        let mean_us = |ns: u64, n: u64| {
+            if n == 0 {
+                f64::NAN
+            } else {
+                ns as f64 / n as f64 / 1e3
+            }
+        };
+        self.shared
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardBreakdown {
+                shard: i,
+                popped: s.popped.load(Ordering::Relaxed),
+                processed: s.processed.load(Ordering::Relaxed),
+                mean_queue_wait_us: mean_us(
+                    s.queue_wait_ns.load(Ordering::Relaxed),
+                    s.queue_wait_samples.load(Ordering::Relaxed),
+                ),
+                mean_service_us: mean_us(
+                    s.service_ns.load(Ordering::Relaxed),
+                    s.service_samples.load(Ordering::Relaxed),
+                ),
+            })
+            .collect()
+    }
+
     /// Closes the queues, drains every shard, force-classifies still-live
     /// keys (stream end), joins all threads, and returns the final
     /// report. After this the accounting identities hold exactly.
@@ -545,11 +660,13 @@ impl ShardedService {
         }
         let decisions = self.drain_decisions();
         let stats = self.stats();
+        let shards = self.shard_breakdown();
         let quarantined = std::mem::take(&mut *lock(&self.shared.quarantine));
         ServeReport {
             decisions,
             stats,
             quarantined,
+            shards,
         }
     }
 }
@@ -579,6 +696,10 @@ fn supervisor_loop(shared: &Arc<Shared>) {
         (0..n).map(|i| Some(spawn_worker(shared, i))).collect();
     let mut hb_seen: Vec<(u64, Instant)> = (0..n).map(|_| (0, Instant::now())).collect();
     let mut wedged = vec![false; n];
+    // Telemetry heartbeat: one snapshot per completed window. Starts at
+    // the clock's current window so a fresh service on a reused process
+    // clock doesn't replay history.
+    let mut snapped = window::tick() / ins::WINDOW_TICKS;
 
     loop {
         let mut alive = 0usize;
@@ -626,10 +747,99 @@ fn supervisor_loop(shared: &Arc<Shared>) {
         let total_depth: usize = shared.shards.iter().map(|s| s.queue.depth()).sum();
         ins::QUEUE_DEPTH.set(total_depth as f64);
 
+        if kvec_obs::event_enabled(Level::Info) {
+            let now = window::tick() / ins::WINDOW_TICKS;
+            // Emit one snapshot per completed window since the last poll
+            // (the ring only retains SLOTS windows; older ones are gone).
+            let from = snapped.max(now.saturating_sub(window::SLOTS as u64));
+            for w in from..now {
+                emit_snapshot(shared, w, false);
+            }
+            snapped = snapped.max(now);
+        }
+
         if alive == 0 && shared.shutdown.load(Ordering::SeqCst) {
+            // Final heartbeat covering the still-open window, so even a
+            // run shorter than one window leaves a non-empty snapshot
+            // stream in its trace.
+            if kvec_obs::event_enabled(Level::Info) {
+                emit_snapshot(shared, window::tick() / ins::WINDOW_TICKS, true);
+            }
             return;
         }
         std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// One `telemetry.snapshot` heartbeat for window `w`: per-shard queue
+/// depths, windowed submission/shed/decision/forced-halt counts and
+/// rates, and windowed decision-latency percentiles. `partial` marks the
+/// shutdown-time snapshot of a window still in progress. Evaluates the
+/// configured [`SloSpec`] for complete windows and emits one warn-level
+/// `slo.burn` event per violated budget.
+fn emit_snapshot(shared: &Shared, w: u64, partial: bool) {
+    let submitted = ins::W_SUBMITTED.force().window_total(w);
+    let shed = ins::W_SHED.force().window_total(w);
+    let forced = ins::W_FORCED_HALTS.force().window_total(w);
+    let decisions = ins::W_DECISIONS.force().window_total(w);
+    let (lat_n, lat) = ins::W_DECISION_LATENCY_US.force().merged_percentiles(&[w]);
+    let depths: Vec<Json> = shared
+        .shards
+        .iter()
+        .map(|s| Json::Int(s.queue.depth() as i128))
+        .collect();
+    let rate = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    event(
+        Level::Info,
+        "telemetry.snapshot",
+        &[
+            ("window", Json::Int(w as i128)),
+            ("tick", Json::Int(window::tick() as i128)),
+            ("partial", Json::Bool(partial)),
+            ("queue_depths", Json::Arr(depths)),
+            ("submitted", Json::Int(submitted as i128)),
+            ("shed", Json::Int(shed as i128)),
+            ("decisions", Json::Int(decisions as i128)),
+            ("forced_halts", Json::Int(forced as i128)),
+            ("shed_rate", Json::Float(rate(shed, submitted))),
+            ("forced_halt_rate", Json::Float(rate(forced, decisions))),
+            ("latency_n", Json::Int(lat_n as i128)),
+            ("latency_p50_us", Json::Float(lat.p50)),
+            ("latency_p95_us", Json::Float(lat.p95)),
+            ("latency_p99_us", Json::Float(lat.p99)),
+        ],
+    );
+    if partial {
+        return; // SLOs are judged on complete windows only
+    }
+    if let Some(slo) = &shared.cfg.slo {
+        let input = SloInput {
+            window: w,
+            submitted,
+            shed,
+            decisions,
+            forced_halts: forced,
+            p99_latency_us: lat.p99,
+        };
+        for burn in slo.evaluate(&input) {
+            event(
+                Level::Warn,
+                "slo.burn",
+                &[
+                    ("slo", Json::Str(slo.name.into())),
+                    ("window", Json::Int(w as i128)),
+                    ("budget", Json::Str(burn.budget.into())),
+                    ("limit", Json::Float(burn.limit)),
+                    ("observed", Json::Float(burn.observed)),
+                ],
+            );
+        }
     }
 }
 
@@ -659,7 +869,8 @@ fn watch_heartbeat(shared: &Shared, idx: usize, seen: &mut (u64, Instant), wedge
 
 fn handle_crash(shared: &Shared, idx: usize, msg: &str) {
     let shard = &shared.shards[idx];
-    if let Some((seq, item)) = lock(&shard.inflight).take() {
+    if let Some((seq, item, trace_id)) = lock(&shard.inflight).take() {
+        trace_ctx::emit_quarantine(trace_id, item.key.0, idx, seq);
         let rec = QuarantineRecord {
             shard: idx,
             seq,

@@ -26,7 +26,7 @@ use kvec::streaming::Decision;
 use kvec::StreamingEngine;
 use kvec_data::{Item, Key};
 use kvec_json::ToJson;
-use kvec_obs::{event, Level};
+use kvec_obs::{self as obs, event, trace_ctx, window, FlowCtx, FlowStamps, Level};
 
 use crate::instruments as ins;
 use crate::queue::Pop;
@@ -41,17 +41,26 @@ pub(crate) enum Msg {
         seq: u64,
         /// When the router enqueued it (decision-latency clock).
         enqueued: Instant,
+        /// Flow trace context minted at admission.
+        ctx: FlowCtx,
     },
     /// The stream for `key` ended upstream: force-classify it.
-    FlowEnd { key: Key, enqueued: Instant },
+    FlowEnd {
+        key: Key,
+        enqueued: Instant,
+        ctx: FlowCtx,
+    },
 }
 
-/// One replayable engine mutation. See the [module docs](self).
+/// One replayable engine mutation. See the [module docs](self). Each
+/// entry carries the mutation's original flow trace id (0 = untraced) so
+/// replay preserves flow *identity* across a crash — a replayed arrival
+/// is the same flow, re-applied.
 #[derive(Clone)]
 pub(crate) enum JournalEntry {
-    Item(Item),
-    FlowEnd(Key),
-    ForcedHalt(Key),
+    Item { item: Item, trace_id: u64 },
+    FlowEnd { key: Key, trace_id: u64 },
+    ForcedHalt { key: Key, trace_id: u64 },
 }
 
 /// Chaos fault kinds, used to key the shard's fired-once set.
@@ -73,16 +82,16 @@ fn fire_once(shared: &Shared, idx: usize, kind: FaultKind, arrival: u64) -> bool
 /// entries.
 #[derive(Default)]
 struct Pending {
-    by_key: BTreeMap<Key, (u64, Instant)>,
+    by_key: BTreeMap<Key, (u64, Instant, FlowStamps)>,
     by_tick: BTreeMap<u64, Vec<Key>>,
 }
 
 impl Pending {
-    fn note(&mut self, key: Key, tick: u64, since: Instant) {
+    fn note(&mut self, key: Key, tick: u64, since: Instant, stamps: FlowStamps) {
         if self.by_key.contains_key(&key) {
             return; // deadline runs from the FIRST pending arrival
         }
-        self.by_key.insert(key, (tick, since));
+        self.by_key.insert(key, (tick, since, stamps));
         self.by_tick.entry(tick).or_default().push(key);
     }
 
@@ -90,13 +99,24 @@ impl Pending {
         self.by_key.remove(&key);
     }
 
-    fn oldest(&mut self) -> Option<(u64, Key, Instant)> {
+    /// Trace stamps of the key's first pending arrival (inactive when
+    /// the key isn't pending) — what a forced or end-of-stream decision
+    /// attributes its wait to.
+    fn stamps(&self, key: Key) -> FlowStamps {
+        self.by_key
+            .get(&key)
+            .map_or(FlowStamps::inactive(), |&(_, _, s)| s)
+    }
+
+    fn oldest(&mut self) -> Option<(u64, Key, Instant, FlowStamps)> {
         loop {
             let tick = *self.by_tick.keys().next()?;
             let keys = self.by_tick.get_mut(&tick).expect("key just seen");
             while let Some(&k) = keys.first() {
                 match self.by_key.get(&k) {
-                    Some(&(t, since)) if t == tick => return Some((tick, k, since)),
+                    Some(&(t, since, stamps)) if t == tick => {
+                        return Some((tick, k, since, stamps))
+                    }
                     _ => {
                         keys.remove(0);
                     }
@@ -151,6 +171,15 @@ pub(crate) fn run(shared: &Shared, idx: usize) {
             }
             Pop::Msg(msg) => {
                 let arrival = shard.popped.fetch_add(1, Ordering::SeqCst);
+                // Dequeue stamps are taken *before* the chaos stall: an
+                // injected stall models a slow worker, so its time lands
+                // in service, not queue wait.
+                let t_deq = Instant::now();
+                let deq_us = if obs::enabled() {
+                    obs::ts_us()
+                } else {
+                    f64::NAN
+                };
                 if let Some(ms) = shared.chaos.stall_millis(idx, arrival) {
                     if fire_once(shared, idx, FaultKind::Stall, arrival) {
                         std::thread::sleep(Duration::from_millis(ms));
@@ -164,6 +193,8 @@ pub(crate) fn run(shared: &Shared, idx: usize) {
                     &mut ticks,
                     msg,
                     arrival,
+                    t_deq,
+                    deq_us,
                 );
                 enforce_tick_deadlines(shared, idx, &mut engine, &mut pending, ticks);
                 enforce_wall_deadline(shared, idx, &mut engine, &mut pending);
@@ -176,11 +207,13 @@ pub(crate) fn run(shared: &Shared, idx: usize) {
     // live gets its forced end-of-stream decision, exactly like a
     // single-threaded engine's finish().
     for d in engine.finish() {
+        let stamps = pending.stamps(d.key);
         pending.remove(d.key);
-        conclude(shared, idx, d, None, false);
+        conclude(shared, idx, d, None, stamps, false, "finish");
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process(
     shared: &Shared,
     idx: usize,
@@ -189,6 +222,8 @@ fn process(
     ticks: &mut u64,
     msg: Msg,
     arrival: u64,
+    t_deq: Instant,
+    deq_us: f64,
 ) {
     let shard = &shared.shards[idx];
     match msg {
@@ -196,14 +231,20 @@ fn process(
             item,
             seq,
             enqueued,
+            ctx,
         } => {
+            trace_ctx::emit_queue(&ctx, item.key.0, idx, "item", deq_us);
+            let wait_ns = t_deq.duration_since(enqueued).as_nanos() as u64;
+            shard.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+            shard.queue_wait_samples.fetch_add(1, Ordering::Relaxed);
+            ins::QUEUE_WAIT_US.record(wait_ns as f64 / 1e3);
             if shared.chaos.poison_fires(idx, arrival)
                 && fire_once(shared, idx, FaultKind::Poison, arrival)
             {
                 // Simulate a crash mid-feed: inflight is set (so the
                 // supervisor can quarantine the item) and the journal is
                 // untouched (the feed "never completed").
-                *lock(&shard.inflight) = Some((seq, item));
+                *lock(&shard.inflight) = Some((seq, item, ctx.trace_id));
                 panic!("chaos: poison arrival {arrival} on shard {idx}");
             }
             if lock(&shard.decided).contains(&item.key) {
@@ -212,24 +253,61 @@ fn process(
                 // the drop observable.
                 shard.late_drops.fetch_add(1, Ordering::Relaxed);
                 ins::LATE_DROPS.add(1);
+                trace_ctx::emit_service(&ctx, item.key.0, idx, "item", "late_drop", 0.0);
                 return;
             }
-            *lock(&shard.inflight) = Some((seq, item.clone()));
-            let fed = engine.feed(&item);
+            *lock(&shard.inflight) = Some((seq, item.clone(), ctx.trace_id));
+            let fed = engine.feed_traced(&item, &ctx);
             *lock(&shard.inflight) = None;
+            let fed_us = if ctx.is_active() {
+                obs::ts_us()
+            } else {
+                f64::NAN
+            };
+            let service_ns = t_deq.elapsed().as_nanos() as u64;
             match fed {
                 Ok(decision) => {
-                    lock(&shard.journal).push(JournalEntry::Item(item.clone()));
+                    lock(&shard.journal).push(JournalEntry::Item {
+                        item: item.clone(),
+                        trace_id: ctx.trace_id,
+                    });
                     *ticks += 1;
+                    if obs::enabled() {
+                        window::advance(1);
+                    }
                     shard.processed.fetch_add(1, Ordering::Relaxed);
+                    shard.service_ns.fetch_add(service_ns, Ordering::Relaxed);
+                    shard.service_samples.fetch_add(1, Ordering::Relaxed);
                     ins::PROCESSED.add(1);
+                    ins::SERVICE_US.record(service_ns as f64 / 1e3);
+                    let stamps = FlowStamps {
+                        ctx,
+                        dequeue_us: deq_us,
+                        fed_us,
+                    };
                     match decision {
                         Some(d) => {
+                            trace_ctx::emit_service(
+                                &ctx,
+                                item.key.0,
+                                idx,
+                                "item",
+                                "decided",
+                                fed_us - deq_us,
+                            );
                             pending.remove(d.key);
-                            conclude(shared, idx, d, Some(enqueued), false);
+                            conclude(shared, idx, d, Some(enqueued), stamps, false, "policy");
                         }
                         None => {
-                            pending.note(item.key, *ticks, enqueued);
+                            trace_ctx::emit_service(
+                                &ctx,
+                                item.key.0,
+                                idx,
+                                "item",
+                                "fed",
+                                fed_us - deq_us,
+                            );
+                            pending.note(item.key, *ticks, enqueued, stamps);
                             publish_confidence(shared, idx, engine, item.key);
                         }
                     }
@@ -241,17 +319,40 @@ fn process(
                     // and safer to treat it like a shed.
                     shard.engine_rejected.fetch_add(1, Ordering::Relaxed);
                     ins::ENGINE_REJECTS.add(1);
+                    trace_ctx::emit_service(
+                        &ctx,
+                        item.key.0,
+                        idx,
+                        "item",
+                        "engine_rejected",
+                        fed_us - deq_us,
+                    );
                 }
             }
         }
-        Msg::FlowEnd { key, enqueued } => {
+        Msg::FlowEnd { key, enqueued, ctx } => {
+            trace_ctx::emit_queue(&ctx, key.0, idx, "flow_end", deq_us);
             // Already-halted (decision delivered earlier) or never-fed
             // keys yield Ok(None)/Err: nothing to decide, nothing to
             // journal — replay reaches the same state without it.
-            if let Ok(Some(d)) = engine.halt_key(key) {
-                lock(&shard.journal).push(JournalEntry::FlowEnd(key));
+            if let Ok(Some(d)) = engine.halt_key_traced(key, &ctx) {
+                let fed_us = if ctx.is_active() {
+                    obs::ts_us()
+                } else {
+                    f64::NAN
+                };
+                trace_ctx::emit_service(&ctx, key.0, idx, "flow_end", "halted", fed_us - deq_us);
+                lock(&shard.journal).push(JournalEntry::FlowEnd {
+                    key,
+                    trace_id: ctx.trace_id,
+                });
                 pending.remove(key);
-                conclude(shared, idx, d, Some(enqueued), false);
+                let stamps = FlowStamps {
+                    ctx,
+                    dequeue_us: deq_us,
+                    fed_us,
+                };
+                conclude(shared, idx, d, Some(enqueued), stamps, false, "flow_end");
             }
         }
     }
@@ -281,12 +382,12 @@ fn enforce_tick_deadlines(
     // Chaos clock skew shifts the shard's view of "now" in ticks;
     // positive skew fires deadlines early.
     let now = ticks as i64 + shared.chaos.deadline_skew(idx);
-    while let Some((t0, key, since)) = pending.oldest() {
+    while let Some((t0, key, since, stamps)) = pending.oldest() {
         if now - t0 as i64 <= budget as i64 {
             break;
         }
         pending.remove(key);
-        force_halt(shared, idx, engine, key, since);
+        force_halt(shared, idx, engine, key, since, stamps, "deadline");
     }
 }
 
@@ -305,12 +406,12 @@ fn enforce_wall_deadline(
         return;
     };
     let now = Instant::now();
-    while let Some((_, key, since)) = pending.oldest() {
+    while let Some((_, key, since, stamps)) = pending.oldest() {
         if now.duration_since(since) <= wall {
             break;
         }
         pending.remove(key);
-        force_halt(shared, idx, engine, key, since);
+        force_halt(shared, idx, engine, key, since, stamps, "wall");
     }
 }
 
@@ -320,18 +421,34 @@ fn force_halt(
     engine: &mut StreamingEngine<'_>,
     key: Key,
     since: Instant,
+    stamps: FlowStamps,
+    via: &'static str,
 ) {
     // Ok(None)/Err means we raced a natural halt, or pending bookkeeping
     // outlived the key (e.g. replay): the first decision stands.
-    if let Ok(Some(d)) = engine.halt_key(key) {
-        lock(&shared.shards[idx].journal).push(JournalEntry::ForcedHalt(key));
-        conclude(shared, idx, d, Some(since), true);
+    if let Ok(Some(d)) = engine.halt_key_traced(key, &stamps.ctx) {
+        lock(&shared.shards[idx].journal).push(JournalEntry::ForcedHalt {
+            key,
+            trace_id: stamps.ctx.trace_id,
+        });
+        conclude(shared, idx, d, Some(since), stamps, true, via);
     }
 }
 
 /// Delivers a decision exactly once per key: the shard's `decided` set
 /// is the gate, which also suppresses re-emission during journal replay.
-fn conclude(shared: &Shared, idx: usize, d: Decision, since: Option<Instant>, forced: bool) {
+/// `stamps` belong to the deciding message (for deadline-forced halts,
+/// the key's first pending arrival); `via` names the deciding path
+/// (`policy` / `flow_end` / `deadline` / `wall` / `finish` / `replay`).
+fn conclude(
+    shared: &Shared,
+    idx: usize,
+    d: Decision,
+    since: Option<Instant>,
+    stamps: FlowStamps,
+    forced: bool,
+    via: &'static str,
+) {
     let shard = &shared.shards[idx];
     if !lock(&shard.decided).insert(d.key) {
         return;
@@ -340,12 +457,28 @@ fn conclude(shared: &Shared, idx: usize, d: Decision, since: Option<Instant>, fo
     if forced {
         shard.forced_halts.fetch_add(1, Ordering::Relaxed);
         ins::FORCED_HALTS.add(1);
+        ins::W_FORCED_HALTS.add(1);
     }
     if let Some(t0) = since {
-        ins::DECISION_LATENCY_US.record(t0.elapsed().as_secs_f64() * 1e6);
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        ins::DECISION_LATENCY_US.record(us);
+        ins::W_DECISION_LATENCY_US.record(us);
     }
     shard.decisions.fetch_add(1, Ordering::Relaxed);
     ins::DECISIONS.add(1);
+    ins::W_DECISIONS.add(1);
+    if stamps.is_active() {
+        trace_ctx::emit_decision(
+            &stamps,
+            d.key.0,
+            idx,
+            forced,
+            via,
+            d.pred,
+            d.n_items,
+            obs::ts_us(),
+        );
+    }
     lock(&shared.results).push(d);
 }
 
@@ -389,26 +522,48 @@ fn replay_entry(
     entry: &JournalEntry,
 ) {
     match entry {
-        JournalEntry::Item(item) => {
-            if let Ok(decision) = engine.feed(item) {
+        JournalEntry::Item { item, trace_id } => {
+            // Replay preserves flow identity (the journaled trace id) but
+            // not wall-clock stamps — those died with the worker, so any
+            // decision re-derived here has null component latencies.
+            let ctx = FlowCtx::replayed(*trace_id);
+            trace_ctx::emit_replay(*trace_id, item.key.0, idx, "item");
+            if let Ok(decision) = engine.feed_traced(item, &ctx) {
                 *ticks += 1;
+                let stamps = FlowStamps {
+                    ctx,
+                    dequeue_us: f64::NAN,
+                    fed_us: f64::NAN,
+                };
                 match decision {
                     Some(d) => {
                         pending.remove(d.key);
-                        conclude(shared, idx, d, None, false);
+                        conclude(shared, idx, d, None, stamps, false, "replay");
                     }
                     // Wall-deadline clocks restart at respawn time: the
                     // original enqueue instants died with the worker, and
                     // a fresh grace period beats spuriously halting
                     // everything that was pending at crash time.
-                    None => pending.note(item.key, *ticks, Instant::now()),
+                    None => pending.note(item.key, *ticks, Instant::now(), stamps),
                 }
             }
         }
-        JournalEntry::FlowEnd(key) | JournalEntry::ForcedHalt(key) => {
-            let forced = matches!(entry, JournalEntry::ForcedHalt(_));
-            if let Ok(Some(d)) = engine.halt_key(*key) {
-                conclude(shared, idx, d, None, forced);
+        JournalEntry::FlowEnd { key, trace_id } | JournalEntry::ForcedHalt { key, trace_id } => {
+            let forced = matches!(entry, JournalEntry::ForcedHalt { .. });
+            let ctx = FlowCtx::replayed(*trace_id);
+            trace_ctx::emit_replay(
+                *trace_id,
+                key.0,
+                idx,
+                if forced { "forced_halt" } else { "flow_end" },
+            );
+            if let Ok(Some(d)) = engine.halt_key_traced(*key, &ctx) {
+                let stamps = FlowStamps {
+                    ctx,
+                    dequeue_us: f64::NAN,
+                    fed_us: f64::NAN,
+                };
+                conclude(shared, idx, d, None, stamps, forced, "replay");
             }
             pending.remove(*key);
         }
@@ -431,13 +586,34 @@ mod tests {
     fn pending_evicts_in_first_pending_tick_order() {
         let mut p = Pending::default();
         let t0 = Instant::now();
-        p.note(Key(5), 1, t0);
-        p.note(Key(3), 2, t0);
-        p.note(Key(5), 9, t0); // re-note must NOT reset the clock
-        assert_eq!(p.oldest().map(|(t, k, _)| (t, k)), Some((1, Key(5))));
+        let s = FlowStamps::inactive();
+        p.note(Key(5), 1, t0, s);
+        p.note(Key(3), 2, t0, s);
+        p.note(Key(5), 9, t0, s); // re-note must NOT reset the clock
+        assert_eq!(p.oldest().map(|(t, k, _, _)| (t, k)), Some((1, Key(5))));
         p.remove(Key(5));
-        assert_eq!(p.oldest().map(|(t, k, _)| (t, k)), Some((2, Key(3))));
+        assert_eq!(p.oldest().map(|(t, k, _, _)| (t, k)), Some((2, Key(3))));
         p.remove(Key(3));
         assert!(p.oldest().is_none());
+    }
+
+    #[test]
+    fn pending_keeps_first_arrival_stamps() {
+        let mut p = Pending::default();
+        let t0 = Instant::now();
+        let first = FlowStamps {
+            ctx: FlowCtx::replayed(7),
+            dequeue_us: 1.0,
+            fed_us: 2.0,
+        };
+        let later = FlowStamps {
+            ctx: FlowCtx::replayed(8),
+            dequeue_us: 3.0,
+            fed_us: 4.0,
+        };
+        p.note(Key(1), 1, t0, first);
+        p.note(Key(1), 2, t0, later); // later arrivals never replace them
+        assert_eq!(p.stamps(Key(1)).ctx.trace_id, 7);
+        assert!(!p.stamps(Key(99)).is_active());
     }
 }

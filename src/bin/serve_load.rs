@@ -21,7 +21,8 @@ use kvec_data::synth::{generate_traffic, TrafficConfig};
 use kvec_data::{mixer, Item, Key};
 use kvec_json::{Json, ToJson};
 use kvec_obs as obs;
-use kvec_serve::{ServeConfig, ServeStats, ShardedService};
+use kvec_obs::SloSpec;
+use kvec_serve::{ServeConfig, ServeStats, ShardBreakdown, ShardedService};
 use kvec_tensor::KvecRng;
 use std::time::{Duration, Instant};
 
@@ -77,6 +78,15 @@ fn serve_config() -> ServeConfig {
         deadline_ticks: Some(64),
         overload_deadline_ticks: Some(16),
         wall_deadline: Some(Duration::from_millis(250)),
+        // Tripwire budgets: the wall deadline bounds p99, and even the 2x
+        // overload point should not shed everything. Violations surface
+        // as warn-level slo.burn events in the trace, not failures.
+        slo: Some(SloSpec {
+            name: "serve_load",
+            p99_latency_us: Some(250_000.0),
+            max_shed_fraction: Some(0.9),
+            max_forced_halt_fraction: None,
+        }),
         ..ServeConfig::default()
     }
 }
@@ -89,6 +99,9 @@ struct PointReport {
     p50_us: f64,
     p95_us: f64,
     p99_us: f64,
+    queue_wait: obs::Percentiles,
+    service: obs::Percentiles,
+    shards: Vec<ShardBreakdown>,
 }
 
 impl PointReport {
@@ -114,6 +127,16 @@ impl PointReport {
             ("decision_latency_p50_us", self.p50_us.to_json()),
             ("decision_latency_p95_us", self.p95_us.to_json()),
             ("decision_latency_p99_us", self.p99_us.to_json()),
+            // Where the latency went: queue wait vs. worker service,
+            // globally (percentiles) and per shard (exact means).
+            ("queue_wait_p50_us", self.queue_wait.p50.to_json()),
+            ("queue_wait_p99_us", self.queue_wait.p99.to_json()),
+            ("service_p50_us", self.service.p50.to_json()),
+            ("service_p99_us", self.service.p99.to_json()),
+            (
+                "shard_breakdown",
+                Json::arr(self.shards.iter().map(ToJson::to_json)),
+            ),
         ])
     }
 }
@@ -151,6 +174,8 @@ fn drive(
     let report = svc.shutdown();
     let elapsed = t0.elapsed().as_secs_f64();
     let p = obs::metrics::histogram("serve.decision_latency_us").percentiles();
+    let queue_wait = obs::metrics::histogram("serve.queue_wait_us").percentiles();
+    let service = obs::metrics::histogram("serve.service_us").percentiles();
     let stats = report.stats;
     assert_eq!(
         stats.submitted,
@@ -176,6 +201,9 @@ fn drive(
         p50_us: p.p50,
         p95_us: p.p95,
         p99_us: p.p99,
+        queue_wait,
+        service,
+        shards: report.shards,
     }
 }
 

@@ -1,0 +1,146 @@
+//! Reconstructs per-flow timelines from a traced serving run's JSONL
+//! log: top-K stragglers with critical-path attribution, per-shard
+//! queue-wait breakdowns, and the serve accounting identity re-verified
+//! from trace records alone.
+//!
+//! ```text
+//! cargo run --release -p kvec-repro --bin trace_report -- \
+//!     [--top K] [--check] <serve.jsonl>
+//! ```
+//!
+//! `--check` turns the report into a CI gate: exits non-zero unless the
+//! accounting identity holds, at least one flow decided, and >= 99% of
+//! decided flows have a complete admission -> queue -> service ->
+//! decision span chain whose component latencies sum to the recorded
+//! end-to-end latency.
+
+use kvec_repro::flowtrace::FlowTraceReport;
+use std::process::ExitCode;
+
+/// `--check` passes when at least this fraction of decided flows is
+/// fully reconstructable (crash/replay runs legitimately lose stamps for
+/// the flows that were in flight when the worker died).
+const CHECK_COMPLETE_FRACTION: f64 = 0.99;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.remove(i))
+        .is_some();
+    let top = args
+        .iter()
+        .position(|a| a == "--top")
+        .map(|i| {
+            args.remove(i);
+            args.remove(i)
+        })
+        .map_or(10, |k| k.parse().expect("--top takes a number"));
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_report [--top K] [--check] <serve.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = FlowTraceReport::parse(text.lines());
+
+    println!("== trace accounting (from flow.* records alone) ==");
+    println!(
+        "submitted {} == shed {} + processed {} + late_drops {} \
+         + engine_rejected {} + quarantined {}  ->  {}",
+        r.submitted,
+        r.shed,
+        r.processed,
+        r.late_drops,
+        r.engine_rejected,
+        r.quarantined,
+        if r.identity_holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+    println!(
+        "flow_ends {}, decisions {}, replays {} ({} distinct flows), \
+         snapshots {}, slo burns {}, malformed {}",
+        r.flow_ends,
+        r.decided.len(),
+        r.replays,
+        r.replayed_ids.len(),
+        r.snapshots,
+        r.slo_burns,
+        r.malformed
+    );
+    println!(
+        "complete span chains: {:.1}% of {} decided flows",
+        100.0 * r.complete_fraction(),
+        r.decided.len()
+    );
+
+    println!("\n== per-shard queue wait ==");
+    for (i, s) in r.shard_queue.iter().enumerate() {
+        println!(
+            "shard {i}: {} dequeues, mean {:.0}us, max {:.0}us",
+            s.samples,
+            s.mean_us(),
+            s.max_us
+        );
+    }
+
+    println!("\n== top {top} stragglers (by end-to-end latency) ==");
+    for d in r.stragglers().into_iter().take(top) {
+        let path_str = d
+            .critical_path()
+            .map_or("unknown".to_string(), |(name, us)| {
+                format!("{name} {us:.0}us ({:.0}%)", 100.0 * us / d.e2e_us.max(1e-9))
+            });
+        println!(
+            "flow {} key {} shard {} via {}{}: e2e {:.0}us \
+             [admit {:.0} | queue {:.0} | service {:.0} | decide {:.0}] critical: {}",
+            d.trace_id,
+            d.key,
+            d.shard,
+            d.via,
+            if d.forced { " (forced)" } else { "" },
+            d.e2e_us,
+            d.admit_us,
+            d.queue_us,
+            d.service_us,
+            d.decide_us,
+            path_str
+        );
+    }
+
+    if check {
+        let mut failures = Vec::new();
+        if !r.identity_holds() {
+            failures.push("accounting identity violated".to_string());
+        }
+        if r.decided.is_empty() {
+            failures.push("no flow.decision records".to_string());
+        }
+        let frac = r.complete_fraction();
+        if frac < CHECK_COMPLETE_FRACTION {
+            failures.push(format!(
+                "only {:.1}% of decided flows reconstruct completely \
+                 (need >= {:.0}%)",
+                100.0 * frac,
+                100.0 * CHECK_COMPLETE_FRACTION
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("trace_report: FAIL: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("\ntrace_report: OK");
+    }
+    ExitCode::SUCCESS
+}

@@ -120,6 +120,11 @@ fn check_jsonl(path: &str, mode: Mode) -> Result<(), String> {
     let mut epochs = 0usize;
     let mut spans = 0usize;
     let mut summary_ok = false;
+    // Serve-mode telemetry-plane evidence: the snapshot heartbeat stream
+    // and at least one flow whose full span chain made it to the trace.
+    let mut snapshots = 0usize;
+    let mut stage_ids: [std::collections::BTreeSet<u64>; 3] = Default::default();
+    let mut decision_ids: std::collections::BTreeSet<u64> = Default::default();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -172,6 +177,20 @@ fn check_jsonl(path: &str, mode: Mode) -> Result<(), String> {
                         check_summary(summary, path, mode)?;
                         summary_ok = true;
                     }
+                    "telemetry.snapshot" => snapshots += 1,
+                    "flow.submit" | "flow.queue" | "flow.service" | "flow.decision" => {
+                        let id = fields
+                            .get("trace_id")
+                            .and_then(|t| t.as_f64())
+                            .map_err(|_| format!("{path}:{}: {name} without trace_id", i + 1))?
+                            as u64;
+                        match name.as_str() {
+                            "flow.submit" => stage_ids[0].insert(id),
+                            "flow.queue" => stage_ids[1].insert(id),
+                            "flow.service" => stage_ids[2].insert(id),
+                            _ => decision_ids.insert(id),
+                        };
+                    }
                     _ => {}
                 }
             }
@@ -181,6 +200,20 @@ fn check_jsonl(path: &str, mode: Mode) -> Result<(), String> {
     }
     if mode == Mode::Train && epochs == 0 {
         return Err(format!("{path}: no train.epoch events"));
+    }
+    if mode == Mode::Serve {
+        if snapshots == 0 {
+            return Err(format!("{path}: no telemetry.snapshot heartbeats"));
+        }
+        let complete = decision_ids
+            .iter()
+            .any(|id| stage_ids.iter().all(|s| s.contains(id)));
+        if !complete {
+            return Err(format!(
+                "{path}: no complete flow span chain \
+                 (submit -> queue -> service -> decision for one trace_id)"
+            ));
+        }
     }
     if spans == 0 {
         return Err(format!("{path}: no spans"));

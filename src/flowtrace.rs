@@ -1,0 +1,410 @@
+//! Offline reconstruction of flow timelines from a serving JSONL trace.
+//!
+//! The serving runtime emits one `flow.*` event per stage an arrival
+//! passes through (see `kvec_obs::trace_ctx` for the vocabulary). This
+//! module re-reads those records and rebuilds what the service knew only
+//! transiently: each decided flow's admission → queue → service →
+//! decision span chain with its component latencies, per-shard
+//! queue-wait breakdowns, and — crucially — the serve accounting
+//! identity re-derived *from trace records alone*, so the trace can be
+//! audited against the service's own `ServeStats` without trusting
+//! either side.
+//!
+//! Used by the `trace_report` bin and cross-checked by the chaos suite.
+
+use kvec_json::Json;
+
+/// One decided flow reconstructed from its `flow.decision` record and
+/// the presence of its upstream span records.
+#[derive(Debug, Clone)]
+pub struct DecidedFlow {
+    /// The deciding message's trace id.
+    pub trace_id: u64,
+    /// Flow key.
+    pub key: u64,
+    /// Shard that decided it.
+    pub shard: usize,
+    /// Deadline- or wall-clock-forced.
+    pub forced: bool,
+    /// Deciding path: `policy` / `flow_end` / `deadline` / `wall` /
+    /// `finish` / `replay`.
+    pub via: String,
+    /// Component latencies, µs. NaN when the stage stamp was lost
+    /// (shed upstream, or state replayed after a crash).
+    pub admit_us: f64,
+    /// Queue wait of the deciding message, µs.
+    pub queue_us: f64,
+    /// Service time of the deciding message, µs.
+    pub service_us: f64,
+    /// Decision overhead (deadline wait for forced halts), µs.
+    pub decide_us: f64,
+    /// End-to-end latency (submission to decision), µs.
+    pub e2e_us: f64,
+    /// All four upstream records (`flow.submit`, `flow.queue`,
+    /// `flow.service`) were present for this trace id.
+    pub chain_complete: bool,
+    /// The four components are finite and sum to `e2e_us` within
+    /// [`SUM_TOLERANCE_US`].
+    pub components_sum_ok: bool,
+}
+
+impl DecidedFlow {
+    /// The component that dominated this flow's end-to-end latency —
+    /// its critical path. `None` when components are missing.
+    pub fn critical_path(&self) -> Option<(&'static str, f64)> {
+        let parts = [
+            ("admission", self.admit_us),
+            ("queue", self.queue_us),
+            ("service", self.service_us),
+            ("decide", self.decide_us),
+        ];
+        if parts.iter().any(|(_, v)| !v.is_finite()) {
+            return None;
+        }
+        parts.into_iter().max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+/// Component latencies must telescope to `e2e_us` exactly (they are
+/// differences of consecutive stamps of one f64 clock, round-tripped
+/// through shortest-representation JSON); 1µs of slack absorbs the
+/// one-rounding-step cases.
+pub const SUM_TOLERANCE_US: f64 = 1.0;
+
+/// Per-shard queue-wait aggregation over `flow.queue` records.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardQueueStats {
+    /// `flow.queue` records with a finite wait on this shard.
+    pub samples: u64,
+    /// Sum of those waits, µs.
+    pub total_us: f64,
+    /// Largest single wait, µs.
+    pub max_us: f64,
+}
+
+impl ShardQueueStats {
+    /// Mean queue wait, µs (NaN when no samples).
+    pub fn mean_us(&self) -> f64 {
+        if self.samples == 0 {
+            f64::NAN
+        } else {
+            self.total_us / self.samples as f64
+        }
+    }
+}
+
+/// Everything reconstructed from one pass over a trace. Counts follow
+/// the serve accounting vocabulary; item and flow-end messages are
+/// tallied separately (the identity covers items only).
+#[derive(Debug, Clone, Default)]
+pub struct FlowTraceReport {
+    /// `flow.submit` item records (any verdict).
+    pub submitted: u64,
+    /// Item submissions shed at admission (either rung).
+    pub shed: u64,
+    /// Item service records with outcome `fed` or `decided`.
+    pub processed: u64,
+    /// Item service records with outcome `late_drop`.
+    pub late_drops: u64,
+    /// Item service records with outcome `engine_rejected`.
+    pub engine_rejected: u64,
+    /// `flow.quarantine` records.
+    pub quarantined: u64,
+    /// `flow.replay` records (journal re-application after a crash).
+    pub replays: u64,
+    /// Trace ids named by at least one `flow.replay` record.
+    pub replayed_ids: Vec<u64>,
+    /// `flow.submit` flow-end records.
+    pub flow_ends: u64,
+    /// `telemetry.snapshot` heartbeats seen.
+    pub snapshots: u64,
+    /// `slo.burn` events seen.
+    pub slo_burns: u64,
+    /// Every decided flow, in trace order.
+    pub decided: Vec<DecidedFlow>,
+    /// Per-shard queue-wait stats (index = shard id).
+    pub shard_queue: Vec<ShardQueueStats>,
+    /// Lines that parsed as JSON but not as a recognized record shape.
+    pub malformed: u64,
+}
+
+fn get_u64(j: &Json, k: &str) -> Option<u64> {
+    match j.get(k).ok()? {
+        Json::Int(v) => u64::try_from(*v).ok(),
+        _ => None,
+    }
+}
+
+fn get_f64(j: &Json, k: &str) -> f64 {
+    match j.get(k) {
+        Ok(Json::Float(v)) => *v,
+        Ok(Json::Int(v)) => *v as f64,
+        _ => f64::NAN, // null (lost stamp) or absent
+    }
+}
+
+fn get_str<'a>(j: &'a Json, k: &str) -> Option<&'a str> {
+    match j.get(k).ok()? {
+        Json::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+impl FlowTraceReport {
+    /// Parses a JSONL trace. Non-JSON lines and records without a
+    /// `flow.*` / telemetry name are skipped (a trace interleaves many
+    /// record kinds); structurally broken `flow.*` records count as
+    /// `malformed` instead of silently vanishing.
+    pub fn parse<'a>(lines: impl IntoIterator<Item = &'a str>) -> FlowTraceReport {
+        let mut r = FlowTraceReport::default();
+        // Stage presence per trace id, for chain completeness.
+        let mut submit_ids = std::collections::BTreeSet::new();
+        let mut queue_ids = std::collections::BTreeSet::new();
+        let mut service_ids = std::collections::BTreeSet::new();
+        let mut replayed = std::collections::BTreeSet::new();
+
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(j) = Json::parse(line) else {
+                continue;
+            };
+            let Ok(Json::Str(name)) = j.get("name") else {
+                continue;
+            };
+            // Event payloads live under "fields" in the JSONL sink; fall
+            // back to the record itself for flat (hand-written) fixtures.
+            let j = j.get("fields").unwrap_or(&j);
+            match name.as_str() {
+                "telemetry.snapshot" => r.snapshots += 1,
+                "slo.burn" => r.slo_burns += 1,
+                "flow.submit" => {
+                    let (Some(id), Some(msg), Some(verdict)) = (
+                        get_u64(j, "trace_id"),
+                        get_str(j, "msg"),
+                        get_str(j, "verdict"),
+                    ) else {
+                        r.malformed += 1;
+                        continue;
+                    };
+                    submit_ids.insert(id);
+                    if msg == "item" {
+                        r.submitted += 1;
+                        if verdict.starts_with("shed") {
+                            r.shed += 1;
+                        }
+                    } else {
+                        r.flow_ends += 1;
+                    }
+                }
+                "flow.queue" => {
+                    let (Some(id), Some(shard)) = (get_u64(j, "trace_id"), get_u64(j, "shard"))
+                    else {
+                        r.malformed += 1;
+                        continue;
+                    };
+                    queue_ids.insert(id);
+                    let wait = get_f64(j, "queue_us");
+                    if wait.is_finite() {
+                        let shard = shard as usize;
+                        if r.shard_queue.len() <= shard {
+                            r.shard_queue.resize(shard + 1, ShardQueueStats::default());
+                        }
+                        let s = &mut r.shard_queue[shard];
+                        s.samples += 1;
+                        s.total_us += wait;
+                        s.max_us = s.max_us.max(wait);
+                    }
+                }
+                "flow.service" => {
+                    let (Some(id), Some(msg), Some(outcome)) = (
+                        get_u64(j, "trace_id"),
+                        get_str(j, "msg"),
+                        get_str(j, "outcome"),
+                    ) else {
+                        r.malformed += 1;
+                        continue;
+                    };
+                    service_ids.insert(id);
+                    if msg == "item" {
+                        match outcome {
+                            "fed" | "decided" => r.processed += 1,
+                            "late_drop" => r.late_drops += 1,
+                            "engine_rejected" => r.engine_rejected += 1,
+                            _ => r.malformed += 1,
+                        }
+                    }
+                }
+                "flow.decision" => {
+                    let (Some(id), Some(key), Some(shard), Some(via)) = (
+                        get_u64(j, "trace_id"),
+                        get_u64(j, "key"),
+                        get_u64(j, "shard"),
+                        get_str(j, "via"),
+                    ) else {
+                        r.malformed += 1;
+                        continue;
+                    };
+                    let forced = matches!(j.get("forced"), Ok(Json::Bool(true)));
+                    r.decided.push(DecidedFlow {
+                        trace_id: id,
+                        key,
+                        shard: shard as usize,
+                        forced,
+                        via: via.to_string(),
+                        admit_us: get_f64(j, "admit_us"),
+                        queue_us: get_f64(j, "queue_us"),
+                        service_us: get_f64(j, "service_us"),
+                        decide_us: get_f64(j, "decide_us"),
+                        e2e_us: get_f64(j, "e2e_us"),
+                        chain_complete: false, // filled below
+                        components_sum_ok: false,
+                    });
+                }
+                "flow.replay" => {
+                    let Some(id) = get_u64(j, "trace_id") else {
+                        r.malformed += 1;
+                        continue;
+                    };
+                    r.replays += 1;
+                    replayed.insert(id);
+                }
+                "flow.quarantine" => r.quarantined += 1,
+                _ => {}
+            }
+        }
+
+        for d in &mut r.decided {
+            d.chain_complete = submit_ids.contains(&d.trace_id)
+                && queue_ids.contains(&d.trace_id)
+                && service_ids.contains(&d.trace_id);
+            let sum = d.admit_us + d.queue_us + d.service_us + d.decide_us;
+            d.components_sum_ok = sum.is_finite()
+                && d.e2e_us.is_finite()
+                && (sum - d.e2e_us).abs() <= SUM_TOLERANCE_US;
+        }
+        r.replayed_ids = replayed.into_iter().collect();
+        r
+    }
+
+    /// The serve accounting identity re-derived from trace records
+    /// alone: `submitted == shed + processed + late_drops +
+    /// engine_rejected + quarantined`.
+    pub fn identity_holds(&self) -> bool {
+        self.submitted
+            == self.shed
+                + self.processed
+                + self.late_drops
+                + self.engine_rejected
+                + self.quarantined
+    }
+
+    /// Fraction of decided flows whose span chain is complete AND whose
+    /// components sum to the recorded end-to-end latency (1.0 when no
+    /// flows decided — vacuous, callers should also require a count).
+    pub fn complete_fraction(&self) -> f64 {
+        if self.decided.is_empty() {
+            return 1.0;
+        }
+        let ok = self
+            .decided
+            .iter()
+            .filter(|d| d.chain_complete && d.components_sum_ok)
+            .count();
+        ok as f64 / self.decided.len() as f64
+    }
+
+    /// Decided flows sorted by end-to-end latency, slowest first (flows
+    /// with unknown e2e sort last).
+    pub fn stragglers(&self) -> Vec<&DecidedFlow> {
+        let mut v: Vec<&DecidedFlow> = self.decided.iter().collect();
+        v.sort_by(|a, b| {
+            let ka = if a.e2e_us.is_finite() {
+                a.e2e_us
+            } else {
+                f64::NEG_INFINITY
+            };
+            let kb = if b.e2e_us.is_finite() {
+                b.e2e_us
+            } else {
+                f64::NEG_INFINITY
+            };
+            kb.total_cmp(&ka)
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(ls: &[&str]) -> FlowTraceReport {
+        FlowTraceReport::parse(ls.iter().copied())
+    }
+
+    #[test]
+    fn reconstructs_a_complete_chain() {
+        // Real sink shape: payload nested under "fields".
+        let r = lines(&[
+            r#"{"ts_us":1.0,"kind":"event","level":"debug","name":"flow.submit","tid":1,"fields":{"trace_id":1,"key":9,"shard":0,"msg":"item","verdict":"admitted","admit_us":2.0}}"#,
+            r#"{"ts_us":2.0,"kind":"event","level":"debug","name":"flow.queue","tid":2,"fields":{"trace_id":1,"key":9,"shard":0,"msg":"item","queue_us":10.0}}"#,
+            r#"{"ts_us":3.0,"kind":"event","level":"debug","name":"flow.service","tid":2,"fields":{"trace_id":1,"key":9,"shard":0,"msg":"item","outcome":"decided","service_us":5.0}}"#,
+            r#"{"ts_us":4.0,"kind":"event","level":"debug","name":"flow.decision","tid":2,"fields":{"trace_id":1,"key":9,"shard":0,"forced":false,"via":"policy","pred":0,"n_items":3,"admit_us":2.0,"queue_us":10.0,"service_us":5.0,"decide_us":1.0,"e2e_us":18.0}}"#,
+        ]);
+        assert_eq!(r.submitted, 1);
+        assert_eq!(r.processed, 1);
+        assert!(r.identity_holds());
+        assert_eq!(r.decided.len(), 1);
+        let d = &r.decided[0];
+        assert!(d.chain_complete && d.components_sum_ok);
+        assert_eq!(d.critical_path(), Some(("queue", 10.0)));
+        assert_eq!(r.complete_fraction(), 1.0);
+    }
+
+    #[test]
+    fn shed_flows_end_at_submit_and_identity_still_holds() {
+        let r = lines(&[
+            r#"{"kind":"event","name":"flow.submit","trace_id":1,"key":1,"shard":0,"msg":"item","verdict":"shed_queue_full","admit_us":null}"#,
+            r#"{"kind":"event","name":"flow.submit","trace_id":2,"key":2,"shard":0,"msg":"item","verdict":"shed_confident","admit_us":null}"#,
+        ]);
+        assert_eq!((r.submitted, r.shed), (2, 2));
+        assert!(r.identity_holds());
+        assert_eq!(r.decided.len(), 0);
+    }
+
+    #[test]
+    fn null_components_break_sum_but_not_identity() {
+        // A replay-derived decision: identity preserved, stamps lost.
+        let r = lines(&[
+            r#"{"kind":"event","name":"flow.replay","trace_id":7,"key":3,"shard":1,"entry":"item"}"#,
+            r#"{"kind":"event","name":"flow.decision","trace_id":7,"key":3,"shard":1,"forced":false,"via":"replay","pred":1,"n_items":2,"admit_us":null,"queue_us":null,"service_us":null,"decide_us":null,"e2e_us":null}"#,
+        ]);
+        assert_eq!(r.replays, 1);
+        assert_eq!(r.replayed_ids, vec![7]);
+        let d = &r.decided[0];
+        assert!(!d.components_sum_ok);
+        assert!(d.critical_path().is_none());
+    }
+
+    #[test]
+    fn flow_ends_are_tallied_apart_from_items() {
+        let r = lines(&[
+            r#"{"kind":"event","name":"flow.submit","trace_id":1,"key":1,"shard":0,"msg":"flow_end","verdict":"admitted","admit_us":1.0}"#,
+        ]);
+        assert_eq!((r.submitted, r.flow_ends), (0, 1));
+    }
+
+    #[test]
+    fn stragglers_sort_slowest_first() {
+        let r = lines(&[
+            r#"{"kind":"event","name":"flow.decision","trace_id":1,"key":1,"shard":0,"forced":false,"via":"policy","pred":0,"n_items":1,"admit_us":1.0,"queue_us":1.0,"service_us":1.0,"decide_us":1.0,"e2e_us":4.0}"#,
+            r#"{"kind":"event","name":"flow.decision","trace_id":2,"key":2,"shard":0,"forced":true,"via":"deadline","pred":0,"n_items":1,"admit_us":1.0,"queue_us":1.0,"service_us":1.0,"decide_us":96.0,"e2e_us":99.0}"#,
+        ]);
+        let s = r.stragglers();
+        assert_eq!(s[0].trace_id, 2);
+        assert_eq!(s[0].critical_path(), Some(("decide", 96.0)));
+    }
+}

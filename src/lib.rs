@@ -6,6 +6,8 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub mod flowtrace;
+
 pub use kvec;
 pub use kvec_autograd as autograd;
 pub use kvec_baselines as baselines;

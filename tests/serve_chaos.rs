@@ -513,3 +513,102 @@ fn overload_soak_degrades_gracefully_over_100k_arrivals() {
         sink: SinkConfig::Stderr,
     });
 }
+
+/// Kill/replay with the flow tracer watching: the journal must preserve
+/// *trace identity* across a crash — every replayed entry names the
+/// trace id its arrival was admitted under — and the accounting identity
+/// re-derived from trace records alone must agree number-for-number with
+/// the service's own `ServeStats`.
+///
+/// The obs subscriber is process-global and tests run concurrently, so
+/// this test gives its arrivals a disjoint key range and filters the
+/// shared memory sink down to its own records before reconstructing.
+#[test]
+fn killed_worker_replay_preserves_trace_identity() {
+    use kvec_json::Json;
+    use kvec_obs::{self as obs, Config, Level, SinkConfig};
+    use kvec_repro::flowtrace::FlowTraceReport;
+
+    const KEY_OFFSET: u64 = 1_000_000;
+    let mut items = stream(8);
+    for item in &mut items {
+        item.key = Key(item.key.0 + KEY_OFFSET);
+    }
+    let mut load = [0usize; SHARDS];
+    for item in &items {
+        load[shard_of_key(item.key, SHARDS)] += 1;
+    }
+    let victim = (0..SHARDS).max_by_key(|&s| load[s]).unwrap();
+    assert!(load[victim] > 6, "victim shard must still have work to do");
+
+    obs::configure(Config {
+        enabled: true,
+        level: Level::Debug,
+        sink: SinkConfig::Memory,
+    });
+    let chaos = ServeChaos::new().kill_worker_at(victim, 5);
+    let svc = ShardedService::with_chaos(model(), no_shed_config(items.len()), chaos);
+    for item in &items {
+        assert!(svc.submit(item.clone()).is_admitted());
+    }
+    let report = svc.shutdown();
+    let lines = obs::take_lines();
+    obs::configure(Config {
+        enabled: false,
+        level: Level::Info,
+        sink: SinkConfig::Stderr,
+    });
+    assert_eq!(report.stats.worker_restarts, 1);
+
+    // Keep only records about our disjoint key range (concurrent tests
+    // share the sink while the subscriber is on).
+    let ours: Vec<&str> = lines
+        .iter()
+        .map(String::as_str)
+        .filter(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|j| j.get("fields").and_then(|f| f.get("key").cloned()).ok())
+                .is_some_and(|k| matches!(k, Json::Int(v) if v >= KEY_OFFSET as i128))
+        })
+        .collect();
+
+    // Trace-side accounting must agree with the service's own stats,
+    // term by term — the trace is an audit of ServeStats, not a copy.
+    let trace = FlowTraceReport::parse(ours.iter().copied());
+    assert_eq!(trace.submitted, report.stats.submitted);
+    assert_eq!(trace.shed, report.stats.shed_total());
+    assert_eq!(trace.processed, report.stats.processed);
+    assert_eq!(trace.late_drops, report.stats.late_drops);
+    assert_eq!(trace.engine_rejected, report.stats.engine_rejected);
+    assert_eq!(trace.quarantined, report.stats.quarantined);
+    assert!(trace.identity_holds());
+    assert_eq!(trace.decided.len() as u64, report.stats.decisions);
+
+    // The respawned worker replayed its journal, and every replay record
+    // carries the trace id the arrival was originally admitted under.
+    assert!(trace.replays > 0, "a killed worker must replay its journal");
+    let submit_ids: BTreeSet<u64> = ours
+        .iter()
+        .filter_map(|l| {
+            let j = Json::parse(l).ok()?;
+            if j.get("name").ok()? != &Json::Str("flow.submit".into()) {
+                return None;
+            }
+            match j
+                .get("fields")
+                .and_then(|f| f.get("trace_id").cloned())
+                .ok()?
+            {
+                Json::Int(v) => u64::try_from(v).ok(),
+                _ => None,
+            }
+        })
+        .collect();
+    for id in &trace.replayed_ids {
+        assert!(
+            submit_ids.contains(id),
+            "replayed trace id {id} was never admitted — identity lost across the crash"
+        );
+    }
+}
